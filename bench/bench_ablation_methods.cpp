@@ -1,0 +1,163 @@
+// Ablations of the methodology choices DESIGN.md calls out:
+//  1. offset measurement: transient binary search (the paper's method) vs
+//     the first-order DC estimator — accuracy and cost;
+//  2. transient integration: trapezoidal vs backward Euler — delay accuracy
+//     vs timestep;
+//  3. occupancy statistics: Bernoulli-sampled atomistic aging (the paper's
+//     model) vs expected-value aging — what the distribution loses.
+//
+// Usage: bench_ablation_methods [--mc=N] [--fast] [--seed=S]
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "issa/aging/bti_model.hpp"
+#include "issa/aging/hci.hpp"
+#include "issa/util/statistics.hpp"
+#include "issa/util/table.hpp"
+#include "issa/workload/hci_map.hpp"
+#include "issa/workload/stress_map.hpp"
+
+using namespace issa;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options options(argc, argv);
+  const analysis::McConfig mc = bench::mc_from_options(options);
+  const std::size_t n = std::min<std::size_t>(mc.iterations, 100);
+
+  // --- 1. offset search method ------------------------------------------------
+  std::cout << "### Ablation 1: transient binary search vs DC offset estimator (" << n
+            << " aged samples)\n\n";
+  analysis::Condition cond;
+  cond.kind = sa::SenseAmpKind::kNssa;
+  cond.config = sa::nominal_config();
+  cond.workload = workload::workload_from_name("80r0");
+  cond.stress_time_s = 1e8;
+
+  util::RunningStats err;
+  util::RunningStats est_stats;
+  util::RunningStats meas_stats;
+  double t_transient = 0.0;
+  double t_estimate = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto circuit = analysis::build_sample(cond, mc, i);
+    double t0 = now_seconds();
+    const double measured = sa::measure_offset(circuit).offset;
+    t_transient += now_seconds() - t0;
+    t0 = now_seconds();
+    const double estimated = sa::estimate_offset_dc(circuit);
+    t_estimate += now_seconds() - t0;
+    err.add((estimated - measured) * 1e3);
+    est_stats.add(estimated * 1e3);
+    meas_stats.add(measured * 1e3);
+  }
+  util::AsciiTable ab1({"method", "mu (mV)", "sigma (mV)", "time/sample (us)"});
+  ab1.add_row({"transient bisection (paper)", util::AsciiTable::num(meas_stats.mean(), 2),
+               util::AsciiTable::num(meas_stats.stddev(), 2),
+               util::AsciiTable::num(1e6 * t_transient / static_cast<double>(n), 0)});
+  ab1.add_row({"DC first-order estimate", util::AsciiTable::num(est_stats.mean(), 2),
+               util::AsciiTable::num(est_stats.stddev(), 2),
+               util::AsciiTable::num(1e6 * t_estimate / static_cast<double>(n), 2)});
+  std::cout << ab1 << "\nestimator error vs transient: mean "
+            << util::AsciiTable::num(err.mean(), 2) << " mV, sigma "
+            << util::AsciiTable::num(err.stddev(), 2)
+            << " mV -> good for screening, not for the spec itself.\n\n";
+
+  // --- 2. integration method ---------------------------------------------------
+  std::cout << "### Ablation 2: trapezoidal vs backward Euler sensing delay\n\n";
+  util::AsciiTable ab2({"method", "dt (ps)", "delay (ps)"});
+  for (const auto method : {circuit::IntegrationMethod::kTrapezoidal,
+                            circuit::IntegrationMethod::kBackwardEuler}) {
+    for (const double dt_ps : {0.4, 0.2, 0.1, 0.05}) {
+      sa::SenseAmpConfig cfg = sa::nominal_config();
+      cfg.timing.dt = dt_ps * 1e-12;
+      auto circuit = sa::build_nssa(cfg);
+      // run_sense uses trapezoidal internally; drive the simulator directly
+      // to select the method.
+      circuit.set_input_differential(0.1);
+      issa::circuit::Simulator sim(circuit.netlist(), cfg.temperature_k());
+      circuit::TransientOptions opt;
+      opt.tstop = cfg.timing.t_stop;
+      opt.dt = cfg.timing.dt;
+      opt.method = method;
+      opt.dc_guess = circuit.dc_guess(0.1);
+      const auto tr = sim.run_transient(opt);
+      const double t_enable = cfg.timing.t_fire + 0.5 * cfg.timing.t_rise;
+      const auto cross = tr.crossing_time(circuit.node_out(), 0.5 * cfg.vdd, true, t_enable);
+      ab2.add_row({method == circuit::IntegrationMethod::kTrapezoidal ? "trapezoidal" : "BE",
+                   util::AsciiTable::num(dt_ps, 2),
+                   cross ? util::AsciiTable::num((*cross - t_enable) * 1e12, 3) : "-"});
+    }
+  }
+  std::cout << ab2 << "\nTrapezoidal is converged at dt = 0.1 ps (the default); backward Euler\n"
+               "needs a finer step for the same accuracy because its numerical damping slows\n"
+               "the regeneration artificially.\n\n";
+
+  // --- 3. occupancy statistics ---------------------------------------------------
+  std::cout << "### Ablation 3: sampled (atomistic) vs expected-value aging (" << n
+            << " samples)\n\n";
+  const auto map = workload::nssa_stress_map(cond.workload, cond.config.vdd);
+  device::MosInstance inst;
+  inst.card = cond.config.nmos;
+  inst.type = device::MosType::kNmos;
+  inst.w_over_l = cond.config.sizing.mdown_wl;
+  const auto& profile = map.at("Mdown");
+  util::RunningStats sampled;
+  for (std::size_t i = 0; i < n * 10; ++i) {
+    sampled.add(
+        aging::sample_bti_shift(mc.bti, inst, profile, 1e8, cond.config.temperature_k(), i) * 1e3);
+  }
+  const double expected =
+      aging::expected_bti_shift(mc.bti, inst, profile, 1e8, cond.config.temperature_k()) * 1e3;
+  const double pred_sd =
+      aging::bti_shift_stddev(mc.bti, inst, profile, 1e8, cond.config.temperature_k()) * 1e3;
+  util::AsciiTable ab3({"statistic", "sampled", "expected-value model"});
+  ab3.add_row({"Mdown mean shift (mV)", util::AsciiTable::num(sampled.mean(), 2),
+               util::AsciiTable::num(expected, 2)});
+  ab3.add_row({"Mdown shift sigma (mV)", util::AsciiTable::num(sampled.stddev(), 2),
+               util::AsciiTable::num(pred_sd, 2) + " (quadrature)"});
+  std::cout << ab3 << "\nAn expected-value model reproduces the mean but has zero variance, so\n"
+               "it would miss the sigma growth of the aged distributions (Tables II-IV) —\n"
+               "the atomistic sampling is what makes the 6.1-sigma spec move correctly.\n\n";
+
+  // --- 4. aging mechanism mix -----------------------------------------------
+  std::cout << "### Ablation 4: BTI only (the paper's model) vs BTI + HCI (" << n
+            << " samples, 1 GHz read clock)\n\n";
+  const auto hci_toggles = workload::sa_toggles_per_read(false);
+  util::RunningStats bti_only;
+  util::RunningStats bti_hci;
+  util::RunningStats delay_bti;
+  util::RunningStats delay_both;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto circuit = analysis::build_sample(cond, mc, i);
+    bti_only.add(sa::measure_offset(circuit).offset * 1e3);
+    delay_bti.add(sa::measure_delay(circuit).worst() * 1e12);
+    workload::apply_hci_aging(circuit.netlist(), aging::default_hci(), hci_toggles,
+                              cond.workload, 1e9, cond.stress_time_s, cond.config.vdd,
+                              cond.config.temperature_k());
+    bti_hci.add(sa::measure_offset(circuit).offset * 1e3);
+    delay_both.add(sa::measure_delay(circuit).worst() * 1e12);
+  }
+  util::AsciiTable ab4({"model", "offset mu (mV)", "offset sigma (mV)", "worst delay (ps)"});
+  ab4.add_row({"BTI only (paper)", util::AsciiTable::num(bti_only.mean(), 2),
+               util::AsciiTable::num(bti_only.stddev(), 2),
+               util::AsciiTable::num(delay_bti.mean(), 2)});
+  ab4.add_row({"BTI + HCI", util::AsciiTable::num(bti_hci.mean(), 2),
+               util::AsciiTable::num(bti_hci.stddev(), 2),
+               util::AsciiTable::num(delay_both.mean(), 2)});
+  std::cout << ab4 << "\nHCI switches symmetrically on both latch sides: it adds a little delay\n"
+               "but leaves the offset mean nearly untouched — supporting the paper's choice\n"
+               "to model BTI as the dominant SA aging mechanism.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks of the simulator kernels (google-benchmark): MOSFET
+// evaluation, LU factorization at MNA sizes, DC solve, full sensing
+// transient, offset bisection, and trap-set construction.
+#include <benchmark/benchmark.h>
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/circuit/simulator.hpp"
+#include "issa/device/mosfet.hpp"
+#include "issa/linalg/lu.hpp"
+#include "issa/sa/builder.hpp"
+#include "issa/sa/measure.hpp"
+#include "issa/util/rng.hpp"
+#include "issa/variation/mismatch.hpp"
+#include "issa/workload/stress_map.hpp"
+
+namespace {
+
+using namespace issa;
+
+void BM_MosfetEval(benchmark::State& state) {
+  device::MosInstance inst;
+  inst.card = device::ptm45_nmos();
+  inst.type = device::MosType::kNmos;
+  inst.w_over_l = 17.8;
+  double vg = 0.3;
+  for (auto _ : state) {
+    vg = vg > 1.0 ? 0.3 : vg + 1e-6;  // defeat constant folding
+    benchmark::DoNotOptimize(device::evaluate_mosfet(inst, {vg, 1.0, 0.0, 0.0}, 298.15));
+  }
+}
+BENCHMARK(BM_MosfetEval);
+
+void BM_LuFactorizeSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(1);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+    a(r, r) += static_cast<double>(n);
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    linalg::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuFactorizeSolve)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SenseAmpDcSolve(benchmark::State& state) {
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  circuit.set_input_differential(0.05);
+  for (auto _ : state) {
+    circuit::Simulator sim(circuit.netlist(), 298.15);
+    circuit::DcOptions opt;
+    opt.initial_guess = circuit.dc_guess(0.05);
+    benchmark::DoNotOptimize(sim.solve_dc(opt));
+  }
+}
+BENCHMARK(BM_SenseAmpDcSolve);
+
+void BM_SenseTransient(benchmark::State& state) {
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::run_sense(circuit, 0.05).read_one);
+  }
+}
+BENCHMARK(BM_SenseTransient)->Unit(benchmark::kMillisecond);
+
+void BM_OffsetBisection(benchmark::State& state) {
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  variation::apply_process_variation(circuit.netlist(), variation::default_mismatch(), 42, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa::measure_offset(circuit).offset);
+  }
+}
+BENCHMARK(BM_OffsetBisection)->Unit(benchmark::kMillisecond);
+
+void BM_TrapSetSampling(benchmark::State& state) {
+  device::MosInstance inst;
+  inst.card = device::ptm45_nmos();
+  inst.type = device::MosType::kNmos;
+  inst.w_over_l = 17.8;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aging::sample_trap_set(aging::default_bti(), inst, seed++));
+  }
+}
+BENCHMARK(BM_TrapSetSampling);
+
+void BM_BtiSampleShift(benchmark::State& state) {
+  device::MosInstance inst;
+  inst.card = device::ptm45_nmos();
+  inst.type = device::MosType::kNmos;
+  inst.w_over_l = 17.8;
+  const auto map = workload::nssa_stress_map(workload::workload_from_name("80r0"), 1.0);
+  const auto& profile = map.at("Mdown");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aging::sample_bti_shift(aging::default_bti(), inst, profile, 1e8, 298.15, seed++));
+  }
+}
+BENCHMARK(BM_BtiSampleShift);
+
+}  // namespace
+
+BENCHMARK_MAIN();

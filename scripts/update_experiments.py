@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerates the results section of EXPERIMENTS.md from bench_output.txt.
+
+Usage:
+    for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt
+    python3 scripts/update_experiments.py
+
+Everything below the `<!-- RESULTS -->` marker in EXPERIMENTS.md is replaced
+with the bench sections, each under a heading derived from the binary name.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MARKER = "<!-- RESULTS -->"
+
+SECTION_TITLES = {
+    "bench_table2_workload": "Table II / Fig. 4 — workload impact",
+    "bench_table3_voltage": "Table III / Fig. 5 — supply-voltage impact",
+    "bench_table4_temperature": "Table IV / Fig. 6 — temperature impact",
+    "bench_fig7_delay_vs_aging": "Fig. 7 — sensing delay vs aging at 125 C",
+    "bench_overheads": "Sec. IV-C — overhead accounting",
+    "bench_guardband": "Guardbanding vs mitigation (Sec. I / V framing)",
+    "bench_ablation_switch_period": "Ablation — switching period (counter width)",
+    "bench_ablation_methods": "Ablations — methodology choices",
+    "bench_ext_double_tail": "Extension — double-tail SA",
+    "bench_kernels": "Simulator kernel micro-benchmarks",
+}
+
+
+def main() -> int:
+    bench_output = ROOT / "bench_output.txt"
+    experiments = ROOT / "EXPERIMENTS.md"
+    if not bench_output.exists():
+        print("bench_output.txt not found; run the benches first", file=sys.stderr)
+        return 1
+
+    text = bench_output.read_text()
+    sections = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("====="):
+            m = re.match(r"^=====\s+.*/(bench_\w+)\s+=====$", line)
+            current = m.group(1) if m else None  # non-bench entries end a section
+            if current is not None:
+                sections[current] = []
+            continue
+        if current is not None:
+            sections[current].append(line)
+
+    doc = experiments.read_text()
+    head, _, _ = doc.partition(MARKER)
+    parts = [head + MARKER + "\n"]
+    for name, title in SECTION_TITLES.items():
+        if name not in sections:
+            continue
+        body = "\n".join(sections[name]).strip()
+        parts.append(f"\n## {title}\n\n```\n{body}\n```\n")
+    experiments.write_text("".join(parts))
+    print(f"updated {experiments} with {len(sections)} bench sections")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+// Device- and netlist-level BTI aging built on the trap primitives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "issa/aging/bti_params.hpp"
+#include "issa/aging/stress.hpp"
+#include "issa/aging/trap.hpp"
+#include "issa/circuit/netlist.hpp"
+
+namespace issa::aging {
+
+/// Stress profile per transistor name; transistors not present are treated
+/// as fully relaxed.  Produced by issa/workload from a workload description.
+using DeviceStressMap = std::unordered_map<std::string, StressProfile>;
+
+/// Samples the total BTI threshold shift of one device after `time_s`
+/// seconds of the workload at `temperature_k`: a fresh trap set is drawn
+/// from `seed` and each trap's occupancy is resolved by a Bernoulli draw.
+/// Deterministic in (params, inst, profile, time, temperature, seed).
+double sample_bti_shift(const BtiParams& params, const device::MosInstance& inst,
+                        const StressProfile& profile, double time_s, double temperature_k,
+                        std::uint64_t seed);
+
+/// Expected (ensemble-average) shift of the same quantity, computed by
+/// deterministic quadrature over the trap parameter distributions instead of
+/// sampling.  Tests verify sample_bti_shift's population mean against this.
+double expected_bti_shift(const BtiParams& params, const device::MosInstance& inst,
+                          const StressProfile& profile, double time_s, double temperature_k);
+
+/// Ensemble standard deviation of the per-device shift (same quadrature).
+double bti_shift_stddev(const BtiParams& params, const device::MosInstance& inst,
+                        const StressProfile& profile, double time_s, double temperature_k);
+
+/// Ages every MOSFET in the netlist in place: adds a sampled BTI shift to
+/// each device that has a profile in `stress_map`.  The per-device stream is
+/// a pure function of (master_seed, sample_index, device name), independent
+/// of evaluation order.
+void apply_bti_aging(circuit::Netlist& netlist, const BtiParams& params,
+                     const DeviceStressMap& stress_map, double time_s, double temperature_k,
+                     std::uint64_t master_seed, std::uint64_t sample_index);
+
+}  // namespace issa::aging

@@ -1,0 +1,7 @@
+#include "issa/aging/bti_params.hpp"
+
+namespace issa::aging {
+
+BtiParams default_bti() { return BtiParams{}; }
+
+}  // namespace issa::aging

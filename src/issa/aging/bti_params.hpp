@@ -1,0 +1,50 @@
+// Parameters of the atomistic BTI model (Kaczer-style two-state defects).
+//
+// Each transistor owns a Poisson-distributed set of gate-oxide traps.  A trap
+// captures a charge during stress (mean time constant tau_c) and emits it
+// during relaxation (tau_e); an occupied trap raises |Vth| by its own
+// delta_vth.  Capture accelerates with temperature (Arrhenius) and with the
+// oxide field (exponential in the gate overdrive above a reference).
+//
+// The capture-time distribution is a power law in tau (density ~ tau^(alpha-1)
+// over [tau_min, tau_max]); combined with first-passage capture this yields
+// the familiar BTI power law <dVth> ~ (duty * t * accel)^alpha, which is what
+// lets one parameter set reproduce the paper's time, temperature, voltage,
+// and duty trends simultaneously (see DESIGN.md section 5).
+#pragma once
+
+namespace issa::aging {
+
+struct BtiParams {
+  // --- trap population -----------------------------------------------------
+  /// Mean trap count per unit gate area [1/m^2].
+  double trap_areal_density = 5.2e15;
+  /// Per-trap impact: mean of the exponential delta_vth distribution is
+  /// eta_factor * q / (Cox * W * L) — i.e. eta_factor average charges worth.
+  double eta_factor = 5.1;
+
+  // --- capture/emission time constants (at temp_ref, vstress = vdd_ref) ----
+  double tau_c_min = 1e-2;   ///< [s]
+  double tau_c_max = 1e12;   ///< [s]
+  double tau_alpha = 0.22;   ///< power-law exponent of the tau_c density
+  /// tau_e is sampled as tau_c * ratio with log-uniform ratio in this range.
+  double tau_e_ratio_min = 1e-2;
+  double tau_e_ratio_max = 1e4;
+
+  // --- acceleration ---------------------------------------------------------
+  double ea_capture = 0.775;   ///< capture activation energy [eV]
+  double ea_emission = 0.30;  ///< emission activation energy [eV]
+  double gamma_field = 20.7;  ///< capture acceleration [1/V]: exp(gamma*(V - vdd_ref))
+  double temp_ref = 298.15;   ///< reference temperature [K] (25 C)
+  double vdd_ref = 1.0;       ///< reference stress voltage [V]
+
+  // --- polarity asymmetry ----------------------------------------------------
+  /// NBTI (PMOS) is the dominant mechanism; PMOS trap density is scaled up.
+  double pmos_density_factor = 1.4;
+};
+
+/// Calibrated defaults reproducing the paper's aged means/sigmas (DESIGN.md,
+/// section 5).
+BtiParams default_bti();
+
+}  // namespace issa::aging

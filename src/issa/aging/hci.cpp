@@ -1,0 +1,23 @@
+#include "issa/aging/hci.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "issa/aging/trap.hpp"
+
+namespace issa::aging {
+
+HciParams default_hci() { return HciParams{}; }
+
+double hci_shift(const HciParams& params, double toggles, double vdd, double temperature_k) {
+  if (toggles < 0.0) throw std::invalid_argument("hci_shift: negative toggle count");
+  if (toggles == 0.0) return 0.0;
+  const double activity = std::pow(toggles, params.exponent);
+  const double field = std::exp(params.gamma_v * (vdd - params.vdd_ref));
+  // arrhenius_factor returns the *time-constant* scaling (< 1 when faster);
+  // damage scales inversely.
+  const double thermal = 1.0 / arrhenius_factor(params.ea, temperature_k, params.temp_ref);
+  return params.k_coeff * activity * field * thermal;
+}
+
+}  // namespace issa::aging

@@ -1,0 +1,40 @@
+// Hot Carrier Injection: the secondary aging mechanism the paper names
+// (Sec. II-A) but does not model.  Included so total-aging studies can ask
+// whether BTI really dominates for the SA (it does: HCI damage accrues only
+// during switching transitions, which occupy a tiny fraction of a read).
+//
+// Model: interface-state generation under drain-side hot carriers gives the
+// classic power law in switching activity,
+//
+//   dVth_HCI = k * (N_toggles)^n * exp(gamma_v * (Vdd - Vdd_ref))
+//            * arrhenius_damage(Ea, T)                            [V]
+//
+// with N_toggles the lifetime count of output transitions the device drives.
+// Unlike BTI there is no recovery and the damage is quasi-deterministic, so
+// no per-sample trap statistics are needed.
+//
+// The mapping from a workload to per-device toggle counts lives in
+// issa/workload/hci_map.hpp (it needs the SA device names).
+#pragma once
+
+namespace issa::aging {
+
+struct HciParams {
+  /// Impact per toggle^n [V].  Calibrated so a full lifetime of read
+  /// switching (0.8 x 1 GHz x 1e8 s ~ 8e16 toggles) costs ~3 mV — clearly
+  /// subordinate to the ~18 mV BTI shift, per the paper's focus on BTI.
+  double k_coeff = 7.5e-11;
+  double exponent = 0.45;    ///< power-law exponent in toggle count
+  double gamma_v = 6.0;      ///< drain-voltage acceleration [1/V]
+  double ea = 0.05;          ///< mild thermal activation [eV]
+  double vdd_ref = 1.0;      ///< [V]
+  double temp_ref = 298.15;  ///< [K]
+};
+
+HciParams default_hci();
+
+/// Threshold shift after `toggles` lifetime transitions at the given supply
+/// and temperature [V].
+double hci_shift(const HciParams& params, double toggles, double vdd, double temperature_k);
+
+}  // namespace issa::aging

@@ -1,0 +1,84 @@
+#include "issa/aging/trap.hpp"
+
+#include <cmath>
+
+#include "issa/util/rng.hpp"
+#include "issa/util/units.hpp"
+
+namespace issa::aging {
+
+TrapSet sample_trap_set(const BtiParams& params, const device::MosInstance& inst,
+                        std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const double area = inst.width() * inst.card.length;
+  double mean_count = params.trap_areal_density * area;
+  if (inst.type == device::MosType::kPmos) mean_count *= params.pmos_density_factor;
+
+  const double eta_mean =
+      params.eta_factor * util::kElementaryCharge / (inst.card.cox * area);
+
+  TrapSet set;
+  const unsigned count = rng.poisson(mean_count);
+  set.traps.reserve(count);
+
+  // Power-law inverse-CDF sampling for tau_c: pdf ~ tau^(alpha - 1) on
+  // [tau_min, tau_max]  <=>  tau = (lo^a + u (hi^a - lo^a))^(1/a).
+  const double a = params.tau_alpha;
+  const double lo_a = std::pow(params.tau_c_min, a);
+  const double hi_a = std::pow(params.tau_c_max, a);
+
+  for (unsigned i = 0; i < count; ++i) {
+    Trap t;
+    const double u = rng.uniform();
+    t.tau_c_ref = std::pow(lo_a + u * (hi_a - lo_a), 1.0 / a);
+    t.tau_e_ref = t.tau_c_ref * rng.log_uniform(params.tau_e_ratio_min, params.tau_e_ratio_max);
+    t.delta_vth = rng.exponential(eta_mean);
+    set.traps.push_back(t);
+  }
+  return set;
+}
+
+double arrhenius_factor(double ea_ev, double temperature_k, double temp_ref_k) noexcept {
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // [eV/K]
+  return std::exp(ea_ev / kBoltzmannEv * (1.0 / temperature_k - 1.0 / temp_ref_k));
+}
+
+double capture_rate(const BtiParams& params, const Trap& trap, const StressProfile& profile,
+                    double temperature_k) noexcept {
+  const double temp_factor = arrhenius_factor(params.ea_capture, temperature_k, params.temp_ref);
+  double rate = 0.0;
+  for (const auto& phase : profile.phases()) {
+    if (phase.vstress <= 0.0 || phase.fraction <= 0.0) continue;
+    const double field_factor = std::exp(-params.gamma_field * (phase.vstress - params.vdd_ref));
+    const double tau_c = trap.tau_c_ref * temp_factor * field_factor;
+    rate += phase.fraction / tau_c;
+  }
+  return rate;
+}
+
+double emission_rate(const BtiParams& params, const Trap& trap, const StressProfile& profile,
+                     double temperature_k) noexcept {
+  const double temp_factor = arrhenius_factor(params.ea_emission, temperature_k, params.temp_ref);
+  const double tau_e = trap.tau_e_ref * temp_factor;
+  double relax_fraction = 0.0;
+  for (const auto& phase : profile.phases()) {
+    if (phase.vstress <= 0.0) relax_fraction += phase.fraction;
+  }
+  return relax_fraction / tau_e;
+}
+
+double trap_occupancy(const BtiParams& params, const Trap& trap, const StressProfile& profile,
+                      double time_s, double temperature_k) noexcept {
+  if (time_s <= 0.0) return 0.0;
+  const double lc = capture_rate(params, trap, profile, temperature_k);
+  if (lc <= 0.0) return 0.0;
+  const double le = emission_rate(params, trap, profile, temperature_k);
+  const double lambda = lc + le;
+  const double p_inf = lc / lambda;
+  const double x = lambda * time_s;
+  // 1 - exp(-x) without cancellation for tiny x.
+  const double transient = x < 1e-8 ? x : 1.0 - std::exp(-x);
+  return p_inf * transient;
+}
+
+}  // namespace issa::aging

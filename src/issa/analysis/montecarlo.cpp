@@ -1,0 +1,86 @@
+#include "issa/analysis/montecarlo.hpp"
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/sa/double_tail.hpp"
+#include "issa/util/thread_pool.hpp"
+#include "issa/workload/stress_map.hpp"
+
+namespace issa::analysis {
+
+double OffsetDistribution::spec(double failure_rate) const {
+  return offset_voltage_spec(summary.mean, summary.stddev, failure_rate);
+}
+
+aging::DeviceStressMap condition_stress_map(const Condition& condition) {
+  const double vdd = condition.config.vdd;
+  switch (condition.kind) {
+    case sa::SenseAmpKind::kNssa:
+      return workload::nssa_stress_map(condition.workload, vdd);
+    case sa::SenseAmpKind::kIssa:
+      return workload::issa_stress_map(condition.workload, vdd);
+    case sa::SenseAmpKind::kDoubleTail:
+      return sa::double_tail_stress_map(condition.workload, vdd);
+    case sa::SenseAmpKind::kDoubleTailSwitching:
+      return sa::double_tail_switching_stress_map(condition.workload, vdd);
+  }
+  throw std::logic_error("condition_stress_map: unknown kind");
+}
+
+sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
+                                 std::size_t sample_index) {
+  sa::SenseAmpCircuit circuit = sa::build_sense_amp(condition.kind, condition.config);
+  variation::apply_process_variation(circuit.netlist(), mc.mismatch, mc.seed, sample_index);
+  if (condition.aged()) {
+    const aging::DeviceStressMap stress = condition_stress_map(condition);
+    aging::apply_bti_aging(circuit.netlist(), mc.bti, stress, condition.stress_time_s,
+                           condition.config.temperature_k(), mc.seed, sample_index);
+  }
+  return circuit;
+}
+
+namespace {
+
+// Runs `body(i)` over the sample indices, in parallel when requested.
+template <typename Body>
+void for_samples(const McConfig& mc, Body&& body) {
+  if (mc.parallel) {
+    util::ThreadPool::global().parallel_for(0, mc.iterations, body);
+  } else {
+    for (std::size_t i = 0; i < mc.iterations; ++i) body(i);
+  }
+}
+
+}  // namespace
+
+OffsetDistribution measure_offset_distribution(const Condition& condition, const McConfig& mc) {
+  OffsetDistribution dist;
+  dist.offsets.resize(mc.iterations);
+  std::vector<char> saturated(mc.iterations, 0);
+
+  // Aged stress maps are identical across samples; compute once.
+  for_samples(mc, [&](std::size_t i) {
+    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i);
+    const sa::OffsetResult r = sa::measure_offset(circuit);
+    dist.offsets[i] = r.offset;
+    saturated[i] = r.saturated ? 1 : 0;
+  });
+
+  for (const char s : saturated) dist.saturated_count += s;
+  dist.summary = util::summarize(dist.offsets);
+  return dist;
+}
+
+DelayDistribution measure_delay_distribution(const Condition& condition, const McConfig& mc) {
+  DelayDistribution dist;
+  dist.delays.resize(mc.iterations);
+  for_samples(mc, [&](std::size_t i) {
+    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i);
+    const sa::DelayPair pair = sa::measure_delay(circuit);
+    dist.delays[i] =
+        mc.delay_metric == DelayMetric::kWorstDirection ? pair.worst() : pair.mean();
+  });
+  dist.summary = util::summarize(dist.delays);
+  return dist;
+}
+
+}  // namespace issa::analysis

@@ -1,0 +1,82 @@
+// Monte-Carlo evaluation of a sense amplifier under one experimental
+// condition (scheme x workload x supply x temperature x stress time).
+//
+// Every sample i builds a fresh testbench, draws its process variation and
+// BTI trap sets from streams keyed by (seed, i, device name), and measures
+// the offset voltage and/or sensing delay by transient simulation.  Samples
+// are independent, so they run on the global thread pool; results are
+// deterministic in (condition, mc config) regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/aging/bti_params.hpp"
+#include "issa/analysis/spec.hpp"
+#include "issa/sa/builder.hpp"
+#include "issa/sa/measure.hpp"
+#include "issa/util/statistics.hpp"
+#include "issa/variation/mismatch.hpp"
+#include "issa/workload/workload.hpp"
+
+namespace issa::analysis {
+
+/// One cell of the paper's experiment grid.
+struct Condition {
+  sa::SenseAmpKind kind = sa::SenseAmpKind::kNssa;
+  sa::SenseAmpConfig config;        ///< supply, temperature, sizing, timing
+  workload::Workload workload;      ///< external read workload
+  double stress_time_s = 0.0;       ///< 0 = fresh (time-zero only)
+
+  bool aged() const noexcept { return stress_time_s > 0.0; }
+};
+
+/// Which per-sample sensing delay enters the distribution.  A memory's
+/// timing is set by its slowest read, so the paper-facing experiments use
+/// the worst direction; the mean is available for symmetric analyses.
+enum class DelayMetric { kWorstDirection, kMeanOfDirections };
+
+struct McConfig {
+  std::size_t iterations = 400;  ///< the paper's Monte-Carlo count
+  std::uint64_t seed = 42;
+  bool parallel = true;
+  DelayMetric delay_metric = DelayMetric::kWorstDirection;
+  variation::MismatchParams mismatch = variation::default_mismatch();
+  aging::BtiParams bti = aging::default_bti();
+};
+
+/// Offset-distribution result of one condition.
+struct OffsetDistribution {
+  std::vector<double> offsets;  ///< per-sample offset voltages [V]
+  util::DistributionSummary summary;
+  std::size_t saturated_count = 0;  ///< samples whose flip left the window
+
+  /// Offset-voltage specification per Eq. 3 at the given failure rate.
+  double spec(double failure_rate = kPaperFailureRate) const;
+};
+
+/// Delay-distribution result of one condition.
+struct DelayDistribution {
+  std::vector<double> delays;  ///< per-sample mean sensing delay [s]
+  util::DistributionSummary summary;
+};
+
+/// Builds one sample's testbench: fresh circuit + mismatch (+ BTI when the
+/// condition is aged).  Exposed so examples/tests can inspect single samples.
+sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
+                                 std::size_t sample_index);
+
+/// Measures the offset distribution of a condition.
+OffsetDistribution measure_offset_distribution(const Condition& condition, const McConfig& mc);
+
+/// Measures the sensing-delay distribution of a condition, applying the
+/// McConfig's DelayMetric per sample (worst direction by default, per the
+/// delay experiments of Sec. IV).
+DelayDistribution measure_delay_distribution(const Condition& condition, const McConfig& mc);
+
+/// The per-transistor stress map implied by a condition (NSSA maps the
+/// external workload directly; ISSA balances it internally).
+aging::DeviceStressMap condition_stress_map(const Condition& condition);
+
+}  // namespace issa::analysis

@@ -1,0 +1,49 @@
+#include "issa/analysis/spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "issa/util/normal.hpp"
+
+namespace issa::analysis {
+
+double failure_rate_of_spec(double mu, double sigma, double spec) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("failure_rate_of_spec: sigma must be > 0");
+  if (spec < 0.0) return 1.0;
+  // Both tails, computed with the survival function to avoid cancellation.
+  const double upper_tail = util::normal_sf((spec - mu) / sigma);
+  const double lower_tail = util::normal_cdf((-spec - mu) / sigma);
+  return upper_tail + lower_tail;
+}
+
+double offset_voltage_spec(double mu, double sigma, double failure_rate) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("offset_voltage_spec: sigma must be > 0");
+  if (!(failure_rate > 0.0) || !(failure_rate < 1.0)) {
+    throw std::invalid_argument("offset_voltage_spec: failure rate must be in (0, 1)");
+  }
+  // Bracket: the window must at least cover the mu = 0 quantile and at most
+  // the shifted quantile plus |mu|.
+  const double z = spec_sigma_multiplier(failure_rate);
+  double lo = 0.0;
+  double hi = std::fabs(mu) + (z + 1.0) * sigma;
+  while (failure_rate_of_spec(mu, sigma, hi) > failure_rate) hi *= 2.0;
+  // Bisection on the monotone failure-rate-vs-spec function.
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (failure_rate_of_spec(mu, sigma, mid) > failure_rate) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double spec_sigma_multiplier(double failure_rate) {
+  if (!(failure_rate > 0.0) || !(failure_rate < 1.0)) {
+    throw std::invalid_argument("spec_sigma_multiplier: failure rate must be in (0, 1)");
+  }
+  return util::normal_quantile(1.0 - 0.5 * failure_rate);
+}
+
+}  // namespace issa::analysis

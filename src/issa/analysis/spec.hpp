@@ -1,0 +1,32 @@
+// Offset-voltage specification (paper Sec. II-C, Eq. 3).
+//
+// Given the measured offset distribution N(mu, sigma) and a failure-rate
+// target fr, the specification V is the half-width of the symmetric window
+// [-V, +V] that contains all but fr of the population:
+//
+//     Phi((V - mu)/sigma) - Phi((-V - mu)/sigma) = 1 - fr.
+//
+// For mu = 0 and fr = 1e-9 this gives V = 6.1 sigma (the paper's "roughly
+// 6 sigma").  For mu != 0 the window must widen to cover the shifted tail,
+// which is exactly why an aged unbalanced workload inflates the spec.
+#pragma once
+
+#include <cstddef>
+
+namespace issa::analysis {
+
+/// The paper's failure-rate target.
+inline constexpr double kPaperFailureRate = 1e-9;
+
+/// Solves Eq. 3 for the spec V >= 0.  Throws std::invalid_argument for
+/// sigma <= 0 or fr outside (0, 1).
+double offset_voltage_spec(double mu, double sigma, double failure_rate = kPaperFailureRate);
+
+/// mu = 0 shortcut: the sigma multiplier z with 2*Phi(z) - 1 = 1 - fr
+/// (= 6.1 at fr = 1e-9).
+double spec_sigma_multiplier(double failure_rate = kPaperFailureRate);
+
+/// Inverse query: the failure rate implied by a given spec window.
+double failure_rate_of_spec(double mu, double sigma, double spec);
+
+}  // namespace issa::analysis

@@ -1,0 +1,49 @@
+#include "issa/analysis/yield.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace issa::analysis {
+
+double sa_failure_probability(double mu, double sigma, double swing) {
+  return failure_rate_of_spec(mu, sigma, swing);
+}
+
+double array_yield(double mu, double sigma, double swing, std::size_t sa_count) {
+  if (sa_count == 0) throw std::invalid_argument("array_yield: sa_count must be > 0");
+  const double p = sa_failure_probability(mu, sigma, swing);
+  if (p >= 1.0) return 0.0;
+  // (1-p)^n via n*log1p(-p): exact for the tiny p this is used with.
+  return std::exp(static_cast<double>(sa_count) * std::log1p(-p));
+}
+
+double required_swing_for_yield(double mu, double sigma, std::size_t sa_count,
+                                double yield_target) {
+  if (!(yield_target > 0.0) || !(yield_target < 1.0)) {
+    throw std::invalid_argument("required_swing_for_yield: target must be in (0, 1)");
+  }
+  if (sa_count == 0) throw std::invalid_argument("required_swing_for_yield: sa_count must be > 0");
+  double lo = 0.0;
+  double hi = std::fabs(mu) + 10.0 * sigma;
+  while (array_yield(mu, sigma, hi, sa_count) < yield_target) hi *= 2.0;
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-12; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (array_yield(mu, sigma, mid, sa_count) < yield_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double empirical_failure_fraction(std::span<const double> offsets, double swing) {
+  if (offsets.empty()) throw std::invalid_argument("empirical_failure_fraction: empty samples");
+  std::size_t fails = 0;
+  for (const double o : offsets) {
+    if (std::fabs(o) > swing) ++fails;
+  }
+  return static_cast<double>(fails) / static_cast<double>(offsets.size());
+}
+
+}  // namespace issa::analysis

@@ -1,0 +1,36 @@
+// Yield analysis: from the offset distribution to array-level read yield.
+//
+// Eq. 3 defines the per-SA failure rate for a provisioned input window; this
+// module extends it to columns and arrays (independent SA instances) and
+// inverts it (required swing for a yield target), plus an empirical
+// Monte-Carlo cross-check usable at relaxed failure rates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "issa/analysis/spec.hpp"
+
+namespace issa::analysis {
+
+/// Probability that one SA instance drawn from N(mu, sigma) fails to resolve
+/// correctly within +/- `swing` of provisioned differential (Eq. 3's
+/// integrand complement).
+double sa_failure_probability(double mu, double sigma, double swing);
+
+/// Yield of an array of `sa_count` independent SAs, each provisioned with
+/// `swing`: (1 - p_fail)^n, computed in log space for tiny p.
+double array_yield(double mu, double sigma, double swing, std::size_t sa_count);
+
+/// Smallest swing achieving at least `yield_target` for the array
+/// (bisection; yield is monotone in swing).
+double required_swing_for_yield(double mu, double sigma, std::size_t sa_count,
+                                double yield_target);
+
+/// Empirical failure fraction of a measured offset sample set for a given
+/// swing: the fraction of samples with |offset| > swing.  Used by tests to
+/// validate the normal-model pipeline at relaxed failure rates where a few
+/// hundred Monte-Carlo samples carry signal.
+double empirical_failure_fraction(std::span<const double> offsets, double swing);
+
+}  // namespace issa::analysis

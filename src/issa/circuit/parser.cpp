@@ -1,0 +1,214 @@
+#include "issa/circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace issa::circuit {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(line)};
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+}  // namespace
+
+double parse_spice_number(std::string_view token) {
+  if (token.empty()) throw std::invalid_argument("empty numeric token");
+  const std::string lower = to_lower(token);
+  std::size_t consumed = 0;
+  double value;
+  try {
+    value = std::stod(lower, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number '" + std::string(token) + "'");
+  }
+  const std::string suffix = lower.substr(consumed);
+  if (suffix.empty()) return value;
+  static const std::unordered_map<std::string, double> kSuffixes = {
+      {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},  {"m", 1e-3},
+      {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12},
+  };
+  const auto it = kSuffixes.find(suffix);
+  if (it == kSuffixes.end()) {
+    throw std::invalid_argument("bad numeric suffix '" + suffix + "' in '" + std::string(token) +
+                                "'");
+  }
+  return value * it->second;
+}
+
+namespace {
+
+struct ParserState {
+  Netlist netlist;
+  std::unordered_map<std::string, device::MosParams> models;
+  std::unordered_map<std::string, device::MosType> model_types;
+};
+
+SourceWave parse_source_wave(const std::vector<std::string>& tokens, std::size_t first,
+                             std::size_t line) {
+  if (first >= tokens.size()) throw ParseError(line, "missing source specification");
+  const std::string kind = to_lower(tokens[first]);
+  const std::size_t argc = tokens.size() - first - 1;
+  try {
+    if (kind == "dc") {
+      if (argc != 1) throw ParseError(line, "DC takes exactly one value");
+      return SourceWave::dc(parse_spice_number(tokens[first + 1]));
+    }
+    if (kind == "step") {
+      if (argc != 4) throw ParseError(line, "STEP takes v0 v1 delay rise");
+      return SourceWave::step(
+          parse_spice_number(tokens[first + 1]), parse_spice_number(tokens[first + 2]),
+          parse_spice_number(tokens[first + 3]), parse_spice_number(tokens[first + 4]));
+    }
+    if (kind == "pwl") {
+      if (argc < 2 || argc % 2 != 0) throw ParseError(line, "PWL takes t/v pairs");
+      std::vector<std::pair<double, double>> points;
+      for (std::size_t i = first + 1; i + 1 < tokens.size(); i += 2) {
+        points.emplace_back(parse_spice_number(tokens[i]), parse_spice_number(tokens[i + 1]));
+      }
+      return SourceWave::pwl(std::move(points));
+    }
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(line, e.what());
+  }
+  throw ParseError(line, "unknown source kind '" + tokens[first] + "'");
+}
+
+void parse_mosfet(ParserState& state, const std::vector<std::string>& tokens, std::size_t line) {
+  // M<name> d g s b <model> W/L=<ratio> [DVTH=<v>]
+  if (tokens.size() < 7) throw ParseError(line, "MOSFET needs d g s b model W/L=...");
+  const NodeId d = state.netlist.node(tokens[1]);
+  const NodeId g = state.netlist.node(tokens[2]);
+  const NodeId s = state.netlist.node(tokens[3]);
+  const NodeId b = state.netlist.node(tokens[4]);
+  const std::string model = to_lower(tokens[5]);
+  const auto model_it = state.models.find(model);
+  if (model_it == state.models.end()) {
+    throw ParseError(line, "unknown model '" + tokens[5] + "' (declare with .model first)");
+  }
+
+  device::MosInstance inst;
+  inst.card = model_it->second;
+  inst.type = state.model_types.at(model);
+  bool have_wl = false;
+  for (std::size_t i = 6; i < tokens.size(); ++i) {
+    const std::string lower = to_lower(tokens[i]);
+    const auto eq = lower.find('=');
+    if (eq == std::string::npos) throw ParseError(line, "expected key=value, got '" + tokens[i] + "'");
+    const std::string key = lower.substr(0, eq);
+    const std::string value = lower.substr(eq + 1);
+    try {
+      if (key == "w/l" || key == "wl") {
+        inst.w_over_l = parse_spice_number(value);
+        have_wl = true;
+      } else if (key == "dvth") {
+        inst.delta_vth = parse_spice_number(value);
+      } else {
+        throw ParseError(line, "unknown MOSFET parameter '" + key + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(line, e.what());
+    }
+  }
+  if (!have_wl) throw ParseError(line, "MOSFET requires W/L=");
+  state.netlist.add_mosfet(tokens[0], inst, g, d, s, b);
+}
+
+void parse_line(ParserState& state, const std::string& raw, std::size_t line) {
+  const auto tokens = tokenize(raw);
+  if (tokens.empty()) return;
+  const std::string first = to_lower(tokens[0]);
+  if (first[0] == '*') return;  // comment
+
+  try {
+    if (first == ".end") return;
+    if (first == ".model") {
+      if (tokens.size() != 3) throw ParseError(line, ".model needs a name and NMOS|PMOS");
+      const std::string name = to_lower(tokens[1]);
+      const std::string type = to_lower(tokens[2]);
+      if (type == "nmos") {
+        state.models[name] = device::ptm45_nmos();
+        state.model_types[name] = device::MosType::kNmos;
+      } else if (type == "pmos") {
+        state.models[name] = device::ptm45_pmos();
+        state.model_types[name] = device::MosType::kPmos;
+      } else {
+        throw ParseError(line, "model type must be NMOS or PMOS");
+      }
+      return;
+    }
+    switch (first[0]) {
+      case 'r':
+        if (tokens.size() != 4) throw ParseError(line, "resistor needs n+ n- value");
+        state.netlist.add_resistor(tokens[0], state.netlist.node(tokens[1]),
+                                   state.netlist.node(tokens[2]),
+                                   parse_spice_number(tokens[3]));
+        return;
+      case 'c':
+        if (tokens.size() != 4) throw ParseError(line, "capacitor needs n+ n- value");
+        state.netlist.add_capacitor(tokens[0], state.netlist.node(tokens[1]),
+                                    state.netlist.node(tokens[2]),
+                                    parse_spice_number(tokens[3]));
+        return;
+      case 'v':
+        if (tokens.size() < 4) throw ParseError(line, "source needs n+ n- spec");
+        state.netlist.add_vsource(tokens[0], state.netlist.node(tokens[1]),
+                                  state.netlist.node(tokens[2]),
+                                  parse_source_wave(tokens, 3, line));
+        return;
+      case 'i':
+        if (tokens.size() < 4) throw ParseError(line, "source needs n+ n- spec");
+        state.netlist.add_isource(tokens[0], state.netlist.node(tokens[1]),
+                                  state.netlist.node(tokens[2]),
+                                  parse_source_wave(tokens, 3, line));
+        return;
+      case 'm':
+        parse_mosfet(state, tokens, line);
+        return;
+      default:
+        throw ParseError(line, "unknown card '" + tokens[0] + "'");
+    }
+  } catch (const std::invalid_argument& e) {
+    throw ParseError(line, e.what());
+  }
+}
+
+}  // namespace
+
+Netlist parse_netlist(std::string_view text) {
+  ParserState state;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    parse_line(state, line, line_number);
+  }
+  return std::move(state.netlist);
+}
+
+Netlist parse_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("parse_netlist_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_netlist(buffer.str());
+}
+
+}  // namespace issa::circuit

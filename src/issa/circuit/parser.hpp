@@ -1,0 +1,51 @@
+// A SPICE-flavoured netlist parser, so circuits can be described as text
+// (tests, examples, and downstream users) instead of C++ builder calls.
+//
+// Supported grammar (case-insensitive element letters, '*' comments, blank
+// lines ignored, values accept engineering suffixes f/p/n/u/m/k/meg/g):
+//
+//   R<name> <n+> <n-> <resistance>
+//   C<name> <n+> <n-> <capacitance>
+//   V<name> <n+> <n-> DC <value>
+//   V<name> <n+> <n-> STEP <v0> <v1> <delay> <rise>
+//   V<name> <n+> <n-> PWL <t1> <v1> [<t2> <v2> ...]
+//   I<name> <n+> <n-> DC <value>
+//   M<name> <drain> <gate> <source> <bulk> <model> W/L=<ratio> [DVTH=<volts>]
+//   .model <model> NMOS|PMOS            (PTM-45 cards)
+//   .end                                 (optional)
+//
+// Node "0" and "gnd" are ground.  Unknown cards raise ParseError with the
+// line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "issa/circuit/netlist.hpp"
+
+namespace issa::circuit {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a numeric literal with optional engineering suffix ("1.5p", "2k",
+/// "3meg", "100f").  Throws std::invalid_argument on malformed input.
+double parse_spice_number(std::string_view token);
+
+/// Parses a full netlist from text.
+Netlist parse_netlist(std::string_view text);
+
+/// Parses a netlist from a file; throws std::runtime_error when unreadable.
+Netlist parse_netlist_file(const std::string& path);
+
+}  // namespace issa::circuit

@@ -1,0 +1,408 @@
+#include "issa/circuit/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "issa/device/mosfet.hpp"
+#include "issa/linalg/lu.hpp"
+
+namespace issa::circuit {
+
+void TransientResult::append(double t, const std::vector<double>& node_voltages) {
+  time_.push_back(t);
+  for (std::size_t n = 0; n < waves_.size(); ++n) waves_[n].push_back(node_voltages[n]);
+}
+
+double TransientResult::at(NodeId node, double t) const {
+  const auto& w = node_wave(node);
+  if (time_.empty()) throw std::logic_error("TransientResult::at: no samples");
+  if (t <= time_.front()) return w.front();
+  if (t >= time_.back()) return w.back();
+  const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - time_.begin());
+  const double frac = (t - time_[idx - 1]) / (time_[idx] - time_[idx - 1]);
+  return w[idx - 1] + frac * (w[idx] - w[idx - 1]);
+}
+
+std::optional<double> TransientResult::crossing_time(NodeId node, double level, bool rising,
+                                                     double after) const {
+  const auto& w = node_wave(node);
+  for (std::size_t i = 1; i < time_.size(); ++i) {
+    if (time_[i] < after) continue;
+    const double v0 = w[i - 1];
+    const double v1 = w[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    const double t = time_[i - 1] + frac * (time_[i] - time_[i - 1]);
+    if (t >= after) return t;
+  }
+  return std::nullopt;
+}
+
+Waveform TransientResult::waveform(NodeId node) const {
+  Waveform w;
+  w.time = time_;
+  w.value = node_wave(node);
+  return w;
+}
+
+Simulator::Simulator(const Netlist& netlist, double temperature_k)
+    : netlist_(netlist),
+      temperature_k_(temperature_k),
+      node_count_(netlist.node_count()),
+      source_count_(netlist.vsources().size()),
+      cap_state_(netlist.capacitors().size()) {
+  if (!(temperature_k > 0.0)) throw std::invalid_argument("Simulator: temperature must be > 0 K");
+}
+
+std::vector<double> Simulator::full_node_voltages(const std::vector<double>& x) const {
+  std::vector<double> v(node_count_, 0.0);
+  for (std::size_t n = 1; n < node_count_; ++n) v[n] = x[n - 1];
+  return v;
+}
+
+void Simulator::assemble(const std::vector<double>& x, double t, bool transient, double gmin,
+                         double source_scale, linalg::Matrix& jacobian,
+                         std::vector<double>& residual) {
+  const std::size_t n_unknowns = unknown_count();
+  jacobian.set_zero();
+  std::fill(residual.begin(), residual.end(), 0.0);
+
+  // Node voltage accessor: ground reads as 0 and has no matrix row.
+  auto v_of = [&](NodeId node) -> double {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  };
+  auto row_of = [&](NodeId node) -> long {
+    return node == kGround ? -1 : static_cast<long>(node) - 1;
+  };
+  auto stamp_g = [&](NodeId a, NodeId b, double g) {
+    const long ra = row_of(a);
+    const long rb = row_of(b);
+    if (ra >= 0) jacobian(static_cast<std::size_t>(ra), static_cast<std::size_t>(ra)) += g;
+    if (rb >= 0) jacobian(static_cast<std::size_t>(rb), static_cast<std::size_t>(rb)) += g;
+    if (ra >= 0 && rb >= 0) {
+      jacobian(static_cast<std::size_t>(ra), static_cast<std::size_t>(rb)) -= g;
+      jacobian(static_cast<std::size_t>(rb), static_cast<std::size_t>(ra)) -= g;
+    }
+  };
+  auto add_current = [&](NodeId node, double i) {  // current flowing OUT of node
+    const long r = row_of(node);
+    if (r >= 0) residual[static_cast<std::size_t>(r)] += i;
+  };
+  auto add_jacobian = [&](NodeId eq_node, NodeId wrt_node, double g) {
+    const long r = row_of(eq_node);
+    const long c = row_of(wrt_node);
+    if (r >= 0 && c >= 0) jacobian(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += g;
+  };
+
+  // gmin to ground on every non-ground node keeps floating nodes solvable.
+  for (std::size_t node = 1; node < node_count_; ++node) {
+    jacobian(node - 1, node - 1) += gmin;
+    residual[node - 1] += gmin * x[node - 1];
+  }
+
+  for (const auto& r : netlist_.resistors()) {
+    const double g = 1.0 / r.resistance;
+    const double i = g * (v_of(r.a) - v_of(r.b));
+    add_current(r.a, i);
+    add_current(r.b, -i);
+    stamp_g(r.a, r.b, g);
+  }
+
+  if (transient) {
+    const auto& caps = netlist_.capacitors();
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const auto& c = caps[k];
+      const auto& st = cap_state_[k];
+      const double i = st.geq * (v_of(c.a) - v_of(c.b)) + st.ieq;
+      add_current(c.a, i);
+      add_current(c.b, -i);
+      stamp_g(c.a, c.b, st.geq);
+    }
+  }
+
+  for (const auto& m : netlist_.mosfets()) {
+    const device::MosTerminals terms{v_of(m.gate), v_of(m.drain), v_of(m.source), v_of(m.bulk)};
+    const device::MosEval e = device::evaluate_mosfet(m.inst, terms, temperature_k_);
+    add_current(m.drain, e.id);
+    add_current(m.source, -e.id);
+    add_jacobian(m.drain, m.gate, e.gm);
+    add_jacobian(m.drain, m.drain, e.gds);
+    add_jacobian(m.drain, m.source, e.gms);
+    add_jacobian(m.drain, m.bulk, e.gmb);
+    add_jacobian(m.source, m.gate, -e.gm);
+    add_jacobian(m.source, m.drain, -e.gds);
+    add_jacobian(m.source, m.source, -e.gms);
+    add_jacobian(m.source, m.bulk, -e.gmb);
+  }
+
+  for (const auto& src : netlist_.isources()) {
+    const double i = source_scale * src.wave.value(t);
+    add_current(src.pos, i);  // current leaves pos terminal through the source
+    add_current(src.neg, -i);
+  }
+
+  // Voltage sources: one extra unknown (branch current) and one KVL row each.
+  const auto& vsrcs = netlist_.vsources();
+  for (std::size_t k = 0; k < vsrcs.size(); ++k) {
+    const auto& src = vsrcs[k];
+    const std::size_t branch = voltage_unknowns() + k;
+    const double i_branch = x[branch];
+    add_current(src.pos, i_branch);
+    add_current(src.neg, -i_branch);
+    const long rp = row_of(src.pos);
+    const long rn = row_of(src.neg);
+    if (rp >= 0) jacobian(static_cast<std::size_t>(rp), branch) += 1.0;
+    if (rn >= 0) jacobian(static_cast<std::size_t>(rn), branch) -= 1.0;
+    // KVL row: v_pos - v_neg - V(t) = 0.
+    residual[branch] = v_of(src.pos) - v_of(src.neg) - source_scale * src.wave.value(t);
+    if (rp >= 0) jacobian(branch, static_cast<std::size_t>(rp)) += 1.0;
+    if (rn >= 0) jacobian(branch, static_cast<std::size_t>(rn)) -= 1.0;
+  }
+
+  (void)n_unknowns;
+}
+
+bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, double gmin,
+                             double source_scale, const NewtonOptions& options) {
+  const std::size_t n = unknown_count();
+  linalg::Matrix jacobian(n, n);
+  std::vector<double> residual(n);
+  std::vector<double> x_try(n);
+  std::vector<double> residual_try(n);
+
+  auto inf_norm = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (const double e : v) m = std::max(m, std::fabs(e));
+    return m;
+  };
+
+  assemble(x, t, transient, gmin, source_scale, jacobian, residual);
+  double fnorm = inf_norm(residual);
+  int line_search_failures = 0;
+
+  // Newton cannot land exactly on the root of a stiff exponential; the
+  // attainable residual floor on nodes held only by gmin scales with the
+  // gmin current itself, so the acceptance floor must track it.
+  const double abstol = std::max(options.abstol, 2.0 * gmin);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++stats_.newton_iterations;
+    if (fnorm < abstol) return true;
+
+    std::vector<double> dx;
+    try {
+      linalg::LuFactorization lu(jacobian);
+      ++stats_.lu_factorizations;
+      std::vector<double> rhs = residual;
+      for (auto& r : rhs) r = -r;
+      dx = lu.solve(rhs);
+    } catch (const std::runtime_error&) {
+      return false;  // singular Jacobian: let the caller fall back
+    }
+
+    // Damping stage 1: clamp the voltage updates (branch currents are free).
+    for (std::size_t i = 0; i < voltage_unknowns(); ++i) {
+      dx[i] = std::clamp(dx[i], -options.max_step, options.max_step);
+    }
+
+    // Damping stage 2: backtracking line search on the residual norm.  This
+    // kills the period-2 orbits Newton falls into on exponential device
+    // characteristics (the full step overshoots back and forth forever).
+    double alpha = 1.0;
+    bool improved = false;
+    for (int trial = 0; trial < 7; ++trial, alpha *= 0.5) {
+      for (std::size_t i = 0; i < n; ++i) x_try[i] = x[i] + alpha * dx[i];
+      assemble(x_try, t, transient, gmin, source_scale, jacobian, residual_try);
+      const double fnorm_try = inf_norm(residual_try);
+      // Strict relative decrease (a slack here would let period-2 orbits
+      // alternate forever), or an absolute landing below the floor.
+      if (fnorm_try <= fnorm * (1.0 - 0.1 * alpha) || fnorm_try < 0.5 * abstol) {
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) {
+      // Accept the smallest trial step anyway to escape flat regions, but a
+      // run of such steps means we are stuck.
+      if (++line_search_failures > 4) return false;
+    } else {
+      line_search_failures = 0;
+    }
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < voltage_unknowns(); ++i) {
+      max_dv = std::max(max_dv, std::fabs(x_try[i] - x[i]));
+    }
+    x.swap(x_try);
+    residual.swap(residual_try);  // jacobian/residual already match x now
+    fnorm = inf_norm(residual);
+
+    if (std::getenv("ISSA_DEBUG_NEWTON") != nullptr) {
+      std::fprintf(stderr, "  newton iter=%d alpha=%.3f max_dv=%.3e fnorm=%.3e\n", iter, alpha,
+                   max_dv, fnorm);
+    }
+    if (max_dv < options.vtol && improved) return true;
+  }
+  return false;
+}
+
+std::vector<double> Simulator::solve_dc(const DcOptions& options) {
+  ++stats_.dc_solves;
+  std::vector<double> x(unknown_count(), 0.0);
+  auto load_guess = [&] {
+    std::fill(x.begin(), x.end(), 0.0);
+    if (options.initial_guess.empty()) return;
+    if (options.initial_guess.size() != node_count_) {
+      throw std::invalid_argument("solve_dc: initial_guess size must equal node_count");
+    }
+    for (std::size_t n = 1; n < node_count_; ++n) x[n - 1] = options.initial_guess[n];
+  };
+
+  load_guess();
+  if (newton_solve(x, 0.0, /*transient=*/false, options.newton.gmin, 1.0, options.newton)) {
+    return full_node_voltages(x);
+  }
+
+  if (options.gmin_stepping) {
+    // Homotopy: converge the heavily damped system first, then ramp gmin
+    // down gently, warm-starting every stage from the previous solution.
+    load_guess();
+    bool ok = true;
+    double gmin = 1e-2;
+    while (true) {
+      if (!newton_solve(x, 0.0, false, gmin, 1.0, options.newton)) {
+        ok = false;
+        break;
+      }
+      if (gmin <= options.newton.gmin * 1.0001) break;
+      gmin = std::max(gmin * 0.5, options.newton.gmin);
+    }
+    if (ok) return full_node_voltages(x);
+
+    // Last resort: source stepping under relaxed gmin, then re-tighten.
+    load_guess();
+    ok = true;
+    for (double scale = 0.05; scale <= 1.0001; scale += 0.05) {
+      if (!newton_solve(x, 0.0, false, 1e-8, scale, options.newton)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && newton_solve(x, 0.0, false, options.newton.gmin, 1.0, options.newton)) {
+      return full_node_voltages(x);
+    }
+  }
+  throw ConvergenceError("solve_dc: Newton failed to converge");
+}
+
+void Simulator::prepare_companions(double h, IntegrationMethod method) {
+  const auto& caps = netlist_.capacitors();
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    auto& st = cap_state_[k];
+    const double c = caps[k].capacitance;
+    if (method == IntegrationMethod::kBackwardEuler) {
+      st.geq = c / h;
+      st.ieq = -st.geq * st.voltage;
+    } else {
+      st.geq = 2.0 * c / h;
+      st.ieq = -st.geq * st.voltage - st.current;
+    }
+  }
+}
+
+void Simulator::accept_step(const std::vector<double>& x) {
+  const auto& caps = netlist_.capacitors();
+  auto v_of = [&](NodeId node) -> double {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  };
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    auto& st = cap_state_[k];
+    const double v = v_of(caps[k].a) - v_of(caps[k].b);
+    st.current = st.geq * v + st.ieq;
+    st.voltage = v;
+  }
+}
+
+TransientResult Simulator::run_transient(const TransientOptions& options) {
+  if (!(options.tstop > 0.0) || !(options.dt > 0.0)) {
+    throw std::invalid_argument("run_transient: tstop and dt must be > 0");
+  }
+
+  // Starting point: DC at t = 0, then apply explicit overrides.
+  DcOptions dc_options;
+  dc_options.newton = options.newton;
+  dc_options.initial_guess = options.dc_guess;
+  std::vector<double> v0 = solve_dc(dc_options);
+  for (const auto& [node, value] : options.initial_overrides) {
+    if (node == kGround) throw std::invalid_argument("run_transient: cannot override ground");
+    if (node < 0 || static_cast<std::size_t>(node) >= node_count_) {
+      throw std::invalid_argument("run_transient: override on unknown node");
+    }
+    v0[static_cast<std::size_t>(node)] = value;
+  }
+
+  std::vector<double> x(unknown_count(), 0.0);
+  for (std::size_t n = 1; n < node_count_; ++n) x[n - 1] = v0[n];
+
+  // Initialize capacitor state from the (possibly overridden) t = 0 solution.
+  auto v_of0 = [&](NodeId node) { return v0[static_cast<std::size_t>(node)]; };
+  const auto& caps = netlist_.capacitors();
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    cap_state_[k].voltage = v_of0(caps[k].a) - v_of0(caps[k].b);
+    cap_state_[k].current = 0.0;
+  }
+
+  TransientResult result(node_count_);
+  result.append(0.0, v0);
+
+  // Source breakpoints: steps land exactly on every PWL corner so the
+  // companion integration never straddles a slope discontinuity.
+  std::vector<double> breakpoints;
+  for (const auto& src : netlist_.vsources()) {
+    const auto corners = src.wave.corner_times();
+    breakpoints.insert(breakpoints.end(), corners.begin(), corners.end());
+  }
+  for (const auto& src : netlist_.isources()) {
+    const auto corners = src.wave.corner_times();
+    breakpoints.insert(breakpoints.end(), corners.begin(), corners.end());
+  }
+  std::sort(breakpoints.begin(), breakpoints.end());
+  std::size_t next_breakpoint = 0;
+
+  double t = 0.0;
+  while (t < options.tstop - 1e-18) {
+    double h = std::min(options.dt, options.tstop - t);
+    while (next_breakpoint < breakpoints.size() && breakpoints[next_breakpoint] <= t + 1e-18) {
+      ++next_breakpoint;
+    }
+    if (next_breakpoint < breakpoints.size()) {
+      const double to_corner = breakpoints[next_breakpoint] - t;
+      if (to_corner > 1e-18 && to_corner < h) h = to_corner;
+    }
+    int halvings = 0;
+    for (;;) {
+      prepare_companions(h, options.method);
+      std::vector<double> x_try = x;
+      if (newton_solve(x_try, t + h, /*transient=*/true, options.newton.gmin, 1.0,
+                       options.newton)) {
+        x = std::move(x_try);
+        accept_step(x);
+        t += h;
+        ++stats_.transient_steps;
+        break;
+      }
+      if (++halvings > options.max_step_halvings) {
+        throw ConvergenceError("run_transient: Newton failed at t = " + std::to_string(t));
+      }
+      h *= 0.5;
+    }
+    result.append(t, full_node_voltages(x));
+  }
+  return result;
+}
+
+}  // namespace issa::circuit

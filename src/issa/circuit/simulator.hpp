@@ -1,0 +1,161 @@
+// Nonlinear circuit simulation: DC operating point and transient analysis.
+//
+// Formulation: Modified Nodal Analysis.  Unknowns are the non-ground node
+// voltages followed by one branch current per voltage source.  Each Newton
+// iteration assembles the residual F(x) (KCL per node, KVL per source branch)
+// and its Jacobian, then solves J dx = -F with dense LU.
+//
+// Transient integration replaces each capacitor with its companion model
+// (backward Euler or trapezoidal); the nonlinear solve at each timestep is
+// the same Newton loop, warm-started from the previous step.  Failed steps
+// are retried with a halved timestep a bounded number of times.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "issa/circuit/netlist.hpp"
+#include "issa/circuit/waveform.hpp"
+#include "issa/linalg/matrix.hpp"
+
+namespace issa::circuit {
+
+/// Thrown when Newton iteration fails to converge after all fallbacks.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
+
+struct NewtonOptions {
+  int max_iterations = 120;
+  double vtol = 1e-7;    ///< convergence: max |dV| below this [V]
+  /// Residual floor [A]: below this the point counts as converged.  Five
+  /// orders below the SA's on-currents (~1e-4 A); floating nodes held only by
+  /// gmin reach an oscillation floor near gmin * Vdd that must be accepted,
+  /// not iterated (the solver additionally floors this at 2 * gmin).
+  double abstol = 1e-9;
+  double max_step = 0.3; ///< damping: per-iteration voltage-step clamp [V]
+  /// Conductance from every node to ground [S].  1 nS is far below every
+  /// on-conductance in the SA yet large enough to dominate the subthreshold
+  /// leakage of off devices hanging on otherwise-floating nodes, which keeps
+  /// Newton out of limit cycles there (RC with 1 fF is ~1 us >> the ~60 ps
+  /// sensing window, so waveforms are unaffected).
+  double gmin = 1e-9;
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  bool gmin_stepping = true;  ///< retry with relaxed gmin ramp on failure
+  /// Optional starting point: full node-voltage vector (index = NodeId).
+  /// A good guess (e.g. the known precharge state of a testbench) avoids
+  /// the homotopy fallbacks entirely.
+  std::vector<double> initial_guess;
+};
+
+struct TransientOptions {
+  double tstop = 0.0;  ///< simulation end time [s]
+  double dt = 1e-13;   ///< base timestep [s]
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  NewtonOptions newton;
+  /// Node voltages forced at t = 0 instead of their DC solution (the DC
+  /// solve still provides every other node's starting point).
+  std::vector<std::pair<NodeId, double>> initial_overrides;
+  /// Passed through to the t = 0 DC solve as its starting point.
+  std::vector<double> dc_guess;
+  int max_step_halvings = 8;  ///< local timestep cuts before giving up
+};
+
+/// Sampled node voltages over a transient run.
+class TransientResult {
+ public:
+  TransientResult(std::size_t node_count) : waves_(node_count) {}
+
+  void append(double t, const std::vector<double>& node_voltages);
+
+  const std::vector<double>& time() const noexcept { return time_; }
+  const std::vector<double>& node_wave(NodeId node) const {
+    return waves_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Voltage of `node` at time t (linear interpolation).
+  double at(NodeId node, double t) const;
+
+  /// First crossing of `level` on `node` in the given direction after `after`.
+  std::optional<double> crossing_time(NodeId node, double level, bool rising,
+                                      double after = 0.0) const;
+
+  /// Copies one node into a standalone Waveform.
+  Waveform waveform(NodeId node) const;
+
+  std::size_t steps() const noexcept { return time_.size(); }
+
+ private:
+  std::vector<double> time_;
+  std::vector<std::vector<double>> waves_;  // [node][sample]
+};
+
+/// Cumulative work counters, exposed for the kernel benchmarks.
+struct SimulatorStats {
+  long newton_iterations = 0;
+  long lu_factorizations = 0;
+  long transient_steps = 0;
+  long dc_solves = 0;
+};
+
+class Simulator {
+ public:
+  /// The netlist must outlive the simulator.  `temperature_k` applies to all
+  /// MOSFET evaluations.
+  Simulator(const Netlist& netlist, double temperature_k);
+
+  /// DC operating point with sources evaluated at t = 0.  Returns the full
+  /// node-voltage vector (index = NodeId, entry 0 = ground = 0 V).
+  std::vector<double> solve_dc(const DcOptions& options = {});
+
+  /// Transient analysis starting from the DC operating point (plus any
+  /// initial overrides in the options).
+  TransientResult run_transient(const TransientOptions& options);
+
+  double temperature() const noexcept { return temperature_k_; }
+  const SimulatorStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct CapacitorState {
+    double geq = 0.0;      // companion conductance for the current step
+    double ieq = 0.0;      // companion current for the current step
+    double voltage = 0.0;  // accepted v(a) - v(b)
+    double current = 0.0;  // accepted branch current (trapezoidal history)
+  };
+
+  // Assembles F(x) and J(x) at time `t`.  `transient` selects whether the
+  // capacitor companions participate (DC leaves capacitors open).
+  void assemble(const std::vector<double>& x, double t, bool transient, double gmin,
+                double source_scale, linalg::Matrix& jacobian, std::vector<double>& residual);
+
+  // Newton loop on the current assembly configuration; updates x in place.
+  // Returns true on convergence.
+  bool newton_solve(std::vector<double>& x, double t, bool transient, double gmin,
+                    double source_scale, const NewtonOptions& options);
+
+  // Prepares each capacitor's companion (geq/ieq) for a step of size h.
+  void prepare_companions(double h, IntegrationMethod method);
+  // Accepts the step: refreshes stored capacitor voltage/current from x.
+  void accept_step(const std::vector<double>& x);
+
+  std::vector<double> full_node_voltages(const std::vector<double>& x) const;
+
+  std::size_t voltage_unknowns() const noexcept { return node_count_ - 1; }
+  std::size_t unknown_count() const noexcept { return voltage_unknowns() + source_count_; }
+
+  const Netlist& netlist_;
+  double temperature_k_;
+  std::size_t node_count_;
+  std::size_t source_count_;
+  std::vector<CapacitorState> cap_state_;
+  SimulatorStats stats_;
+};
+
+}  // namespace issa::circuit

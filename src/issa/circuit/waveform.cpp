@@ -1,0 +1,108 @@
+#include "issa/circuit/waveform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "issa/util/csv.hpp"
+
+namespace issa::circuit {
+
+SourceWave::SourceWave(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) throw std::invalid_argument("SourceWave: no points");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].first > points_[i - 1].first)) {
+      throw std::invalid_argument("SourceWave: PWL times must be strictly increasing");
+    }
+  }
+}
+
+SourceWave SourceWave::dc(double value) { return SourceWave({{0.0, value}}); }
+
+SourceWave SourceWave::pwl(std::vector<std::pair<double, double>> points) {
+  return SourceWave(std::move(points));
+}
+
+SourceWave SourceWave::step(double v0, double v1, double delay, double rise) {
+  if (rise <= 0.0) throw std::invalid_argument("SourceWave::step: rise must be > 0");
+  return SourceWave({{delay, v0}, {delay + rise, v1}});
+}
+
+double SourceWave::value(double time) const {
+  if (points_.size() == 1 || time <= points_.front().first) return points_.front().second;
+  if (time >= points_.back().first) return points_.back().second;
+  // Binary search for the segment containing `time`.
+  const auto it = std::upper_bound(points_.begin(), points_.end(), time,
+                                   [](double t, const auto& p) { return t < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (time - lo.first) / (hi.first - lo.first);
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+void SourceWave::offset_by(double dv) {
+  for (auto& p : points_) p.second += dv;
+}
+
+std::vector<double> SourceWave::corner_times() const {
+  if (points_.size() <= 1) return {};
+  std::vector<double> times;
+  times.reserve(points_.size());
+  for (const auto& p : points_) times.push_back(p.first);
+  return times;
+}
+
+double Waveform::at(double t) const {
+  if (time.empty()) throw std::logic_error("Waveform::at: empty waveform");
+  if (t <= time.front()) return value.front();
+  if (t >= time.back()) return value.back();
+  const auto it = std::upper_bound(time.begin(), time.end(), t);
+  const auto idx = static_cast<std::size_t>(it - time.begin());
+  const double t0 = time[idx - 1];
+  const double t1 = time[idx];
+  const double frac = (t - t0) / (t1 - t0);
+  return value[idx - 1] + frac * (value[idx] - value[idx - 1]);
+}
+
+std::optional<double> Waveform::crossing_time(double level, bool rising, double after) const {
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    if (time[i] < after) continue;
+    const double v0 = value[i - 1];
+    const double v1 = value[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (!crossed) continue;
+    const double frac = (level - v0) / (v1 - v0);
+    const double t = time[i - 1] + frac * (time[i] - time[i - 1]);
+    if (t >= after) return t;
+  }
+  return std::nullopt;
+}
+
+double Waveform::max_value() const {
+  return value.empty() ? 0.0 : *std::max_element(value.begin(), value.end());
+}
+
+double Waveform::min_value() const {
+  return value.empty() ? 0.0 : *std::min_element(value.begin(), value.end());
+}
+
+void write_waveforms_csv(
+    const std::string& path, const std::vector<double>& time,
+    const std::vector<std::pair<std::string, const std::vector<double>*>>& waves) {
+  std::vector<std::string> columns{"time_s"};
+  for (const auto& [name, wave] : waves) {
+    if (wave->size() != time.size()) {
+      throw std::invalid_argument("write_waveforms_csv: wave '" + name + "' length mismatch");
+    }
+    columns.push_back(name);
+  }
+  util::CsvWriter csv(path, columns);
+  std::vector<double> row(columns.size());
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    row[0] = time[i];
+    for (std::size_t c = 0; c < waves.size(); ++c) row[c + 1] = (*waves[c].second)[i];
+    csv.add_row(row);
+  }
+}
+
+}  // namespace issa::circuit

@@ -1,0 +1,67 @@
+// Source waveforms (inputs to the simulator) and sampled waveforms (outputs).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace issa::circuit {
+
+/// A time-dependent source value: DC or piecewise-linear.
+/// PWL points must be strictly increasing in time; the value is held constant
+/// before the first and after the last point.
+class SourceWave {
+ public:
+  /// Constant value for all time.
+  static SourceWave dc(double value);
+
+  /// Piecewise-linear from (time, value) points.
+  static SourceWave pwl(std::vector<std::pair<double, double>> points);
+
+  /// Single 0->1 style step: holds v0 until `delay`, ramps linearly to v1
+  /// over `rise`, then holds v1.
+  static SourceWave step(double v0, double v1, double delay, double rise);
+
+  double value(double time) const;
+
+  bool is_dc() const noexcept { return points_.size() == 1; }
+
+  /// Shifts every value by `dv` (used to re-bias a source between runs).
+  void offset_by(double dv);
+
+  /// Times where the piecewise-linear slope changes.  The transient engine
+  /// aligns timesteps to these breakpoints so a source corner never lands
+  /// mid-step (which would degrade trapezoidal integration to first order).
+  std::vector<double> corner_times() const;
+
+ private:
+  explicit SourceWave(std::vector<std::pair<double, double>> points);
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// A sampled waveform: time axis plus one value per sample.
+struct Waveform {
+  std::vector<double> time;
+  std::vector<double> value;
+
+  std::size_t size() const noexcept { return time.size(); }
+
+  /// Linear interpolation; clamps outside the sampled range.
+  double at(double t) const;
+
+  /// First time the waveform crosses `level` in the given direction at or
+  /// after `after`; nullopt when it never does.
+  std::optional<double> crossing_time(double level, bool rising, double after = 0.0) const;
+
+  double final_value() const { return value.empty() ? 0.0 : value.back(); }
+  double max_value() const;
+  double min_value() const;
+};
+
+/// Writes a set of named waveforms sharing a time axis to a CSV file.
+void write_waveforms_csv(const std::string& path, const std::vector<double>& time,
+                         const std::vector<std::pair<std::string, const std::vector<double>*>>& waves);
+
+}  // namespace issa::circuit

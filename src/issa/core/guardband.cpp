@@ -1,0 +1,84 @@
+#include "issa/core/guardband.hpp"
+
+#include <cmath>
+
+namespace issa::core {
+
+namespace {
+
+analysis::Condition corner_condition(sa::SenseAmpKind kind, double temperature_c,
+                                     const workload::Workload& workload, double time_s) {
+  analysis::Condition c;
+  c.kind = kind;
+  c.config = sa::nominal_config();
+  c.config.temperature_c = temperature_c;
+  c.workload = workload;
+  c.stress_time_s = time_s;
+  return c;
+}
+
+double spec_at(sa::SenseAmpKind kind, double temperature_c, const workload::Workload& workload,
+               double time_s, const analysis::McConfig& mc) {
+  const auto dist =
+      analysis::measure_offset_distribution(corner_condition(kind, temperature_c, workload, time_s), mc);
+  return dist.spec();
+}
+
+}  // namespace
+
+GuardbandComparison compare_guardband_vs_mitigation(double temperature_c,
+                                                    const analysis::McConfig& mc,
+                                                    const mem::ReadPathParams& read_path,
+                                                    const workload::Workload& worst_workload,
+                                                    double lifetime_s) {
+  GuardbandComparison result;
+  result.corner_temperature_c = temperature_c;
+  result.nssa_fresh_spec =
+      spec_at(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, 0.0, mc);
+  result.nssa_aged_spec =
+      spec_at(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, lifetime_s, mc);
+  result.issa_aged_spec =
+      spec_at(sa::SenseAmpKind::kIssa, temperature_c, worst_workload, lifetime_s, mc);
+
+  const auto delays_nssa = analysis::measure_delay_distribution(
+      corner_condition(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, lifetime_s), mc);
+  const auto delays_issa = analysis::measure_delay_distribution(
+      corner_condition(sa::SenseAmpKind::kIssa, temperature_c, worst_workload, lifetime_s), mc);
+  const auto delays_fresh = analysis::measure_delay_distribution(
+      corner_condition(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, 0.0), mc);
+
+  const mem::ColumnReadPath path(read_path);
+  const double vdd = sa::nominal_config().vdd;
+  const double temp_k = util::celsius_to_kelvin(temperature_c);
+  result.nssa_read_time =
+      path.timing(result.nssa_aged_spec, delays_nssa.summary.mean, vdd, temp_k).total();
+  result.issa_read_time =
+      path.timing(result.issa_aged_spec, delays_issa.summary.mean, vdd, temp_k).total();
+  result.fresh_read_time =
+      path.timing(result.nssa_fresh_spec, delays_fresh.summary.mean, vdd, temp_k).total();
+  return result;
+}
+
+double nssa_time_to_reach_issa_spec(double temperature_c, const analysis::McConfig& mc,
+                                    const workload::Workload& worst_workload, double lifetime_s) {
+  const double issa_budget =
+      spec_at(sa::SenseAmpKind::kIssa, temperature_c, worst_workload, lifetime_s, mc);
+  if (spec_at(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, lifetime_s, mc) <=
+      issa_budget) {
+    return lifetime_s;
+  }
+  // Bisect in log time: the NSSA spec grows monotonically with stress.
+  double lo = 1e2;
+  double hi = lifetime_s;
+  for (int iter = 0; iter < 24 && hi / lo > 1.1; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (spec_at(sa::SenseAmpKind::kNssa, temperature_c, worst_workload, mid, mc) > issa_budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace issa::core

@@ -1,0 +1,50 @@
+#include "issa/device/mos_params.hpp"
+
+#include <cmath>
+
+namespace issa::device {
+
+MosParams ptm45_nmos() {
+  MosParams p;
+  p.vth0 = 0.466;
+  p.gamma = 0.20;
+  p.phi = 0.88;
+  p.mu0 = 0.051;
+  p.cox = 0.0316;  // ~1.1 nm EOT
+  p.lambda = 0.09;
+  p.theta = 0.28;
+  p.esat_l = 0.55;
+  p.n_sub = 1.32;
+  p.length = 45e-9;
+  p.mu_temp_exp = 2.1;
+  p.vth_tc = -0.45e-3;
+  return p;
+}
+
+MosParams ptm45_pmos() {
+  MosParams p;
+  p.vth0 = 0.412;
+  p.gamma = 0.22;
+  p.phi = 0.88;
+  p.mu0 = 0.020;  // hole mobility deficit vs electrons
+  p.cox = 0.0316;
+  p.lambda = 0.11;
+  p.theta = 0.24;
+  p.esat_l = 0.95;  // holes saturate at higher fields
+  p.n_sub = 1.36;
+  p.length = 45e-9;
+  p.mu_temp_exp = 1.9;
+  p.vth_tc = -0.45e-3;
+  return p;
+}
+
+double mobility_at(const MosParams& p, double temperature_k) {
+  return p.mu0 * std::pow(temperature_k / p.tnom, -p.mu_temp_exp);
+}
+
+double vth_at(const MosParams& p, double temperature_k) {
+  // vth_tc is negative: |Vth| drops as temperature rises.
+  return p.vth0 + p.vth_tc * (temperature_k - p.tnom);
+}
+
+}  // namespace issa::device

@@ -1,0 +1,56 @@
+// Smooth single-piece MOSFET I-V model with analytic small-signal derivatives.
+//
+// Requirements driving the model choice:
+//  * one C-infinity expression covering subthreshold -> saturation so Newton
+//    iteration in the circuit solver never sees a derivative discontinuity;
+//  * velocity saturation (short-channel PTM-45 devices), channel-length
+//    modulation, first-order body effect, and temperature scaling, because
+//    those set the sensing delay's Vdd and temperature trends the paper
+//    reports (Tables III / IV);
+//  * a threshold shift input, because mismatch and BTI enter only via Vth.
+//
+// Model equations (NMOS convention; PMOS mirrors all polarities):
+//   Vth   = vth_at(card, T) + gamma (sqrt(phi + Vsb+) - sqrt(phi)) + dVth
+//   Veff  = 2 n vT ln(1 + exp((Vgs - Vth) / (2 n vT)))     (smooth overdrive)
+//   mu_e  = mu(T) / (1 + theta Veff)
+//   Vdsat = Veff EsatL / (Veff + EsatL)                    (velocity sat.)
+//   Isat  = 1/2 mu_e Cox (W/L) Veff Vdsat
+//   Id    = Isat tanh(Vds / Vdsat) (1 + lambda Vds)
+//
+// In the limit EsatL >> Veff this reduces to the square law; in subthreshold
+// Veff -> 2 n vT exp((Vgs-Vth)/(2 n vT)) gives an exponential with slope
+// n vT ln 10 per decade.  Drain/source are swapped internally when Vds < 0 so
+// the expression is always evaluated with the conducting polarity.
+#pragma once
+
+#include "issa/device/mos_params.hpp"
+
+namespace issa::device {
+
+/// Terminal voltages of a MOSFET, all referred to ground.
+struct MosTerminals {
+  double vg = 0.0;
+  double vd = 0.0;
+  double vs = 0.0;
+  double vb = 0.0;
+};
+
+/// Evaluation result: drain current (into the drain terminal, NMOS positive
+/// for Vds > 0) plus the conductances needed for an MNA Newton stamp.
+struct MosEval {
+  double id = 0.0;   ///< drain terminal current [A]
+  double gm = 0.0;   ///< dId/dVg
+  double gds = 0.0;  ///< dId/dVd
+  double gms = 0.0;  ///< dId/dVs
+  double gmb = 0.0;  ///< dId/dVb
+};
+
+/// Evaluates the instance at the given terminal voltages and temperature.
+/// The returned derivatives are exact for the model expression (verified
+/// against finite differences in tests/device_test.cpp).
+MosEval evaluate_mosfet(const MosInstance& inst, const MosTerminals& v, double temperature_k);
+
+/// Effective threshold (temperature + body effect + delta) for diagnostics.
+double effective_vth(const MosInstance& inst, double vsb, double temperature_k);
+
+}  // namespace issa::device

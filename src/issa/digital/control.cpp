@@ -1,0 +1,68 @@
+#include "issa/digital/control.hpp"
+
+namespace issa::digital {
+
+EnablePair decode_enables(bool saenable_bar, bool switch_signal) noexcept {
+  EnablePair p;
+  p.a = !(saenable_bar && !switch_signal);
+  p.b = !(saenable_bar && switch_signal);
+  return p;
+}
+
+IssaController::IssaController(unsigned counter_bits) : counter_(counter_bits) {}
+
+bool IssaController::process_read(bool bit) {
+  const bool swapped = counter_.msb();
+  counter_.increment();
+  const bool internal = swapped ? !bit : bit;
+  ++stats_.reads;
+  if (bit) ++stats_.external_ones;
+  if (internal) ++stats_.internal_ones;
+  if (swapped) ++stats_.swapped_reads;
+  return internal;
+}
+
+void IssaController::process_stream(const std::vector<bool>& bits) {
+  for (const bool b : bits) process_read(b);
+}
+
+void IssaController::reset() {
+  counter_.reset();
+  stats_ = ReadStreamStats{};
+}
+
+EnablePair IssaController::simulate_decode(bool saenable_bar, bool switch_signal,
+                                           double gate_delay) {
+  EventSimulator sim;
+  const SignalId bar = sim.add_input("saenable_bar");
+  const SignalId sw = sim.add_input("switch");
+  const SignalId sw_bar = sim.add_not("switch_bar", sw, gate_delay);
+  const SignalId a = sim.add_nand("saenable_a", bar, sw_bar, gate_delay);
+  const SignalId b = sim.add_nand("saenable_b", bar, sw, gate_delay);
+  sim.set_input(bar, to_logic(saenable_bar), 0.0);
+  sim.set_input(sw, to_logic(switch_signal), 0.0);
+  sim.run_until(10.0 * gate_delay + 1e-12);
+  EnablePair p;
+  p.a = is_high(sim.value(a));
+  p.b = is_high(sim.value(b));
+  return p;
+}
+
+IssaController::EnableWaves IssaController::make_enable_waves(double vdd, double t_fire,
+                                                              double t_rise, bool swapped) {
+  EnableWaves w;
+  w.saenable = circuit::SourceWave::step(0.0, vdd, t_fire, t_rise);
+  w.saenable_bar = circuit::SourceWave::step(vdd, 0.0, t_fire, t_rise);
+  // The active pass-transistor pair tracks SAenable (low while tracking, high
+  // when the latch fires); the inactive pair is pinned off at Vdd.
+  if (!swapped) {
+    w.saenable_a = circuit::SourceWave::step(0.0, vdd, t_fire, t_rise);
+    w.saenable_b = circuit::SourceWave::dc(vdd);
+  } else {
+    w.saenable_a = circuit::SourceWave::dc(vdd);
+    w.saenable_b = circuit::SourceWave::step(0.0, vdd, t_fire, t_rise);
+  }
+  return w;
+}
+
+}  // namespace issa::digital

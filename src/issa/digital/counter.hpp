@@ -1,0 +1,47 @@
+// N-bit read counter that generates the ISSA Switch signal.
+//
+// Per the paper (Sec. III-B), the counter increments only on read operations
+// (gated by read_enable) and its most-significant bit is the Switch signal,
+// so the SA inputs swap every 2^(N-1) reads.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace issa::digital {
+
+class ReadCounter {
+ public:
+  /// Width in bits; the paper's case study uses 8.
+  explicit ReadCounter(unsigned bits) : bits_(bits) {
+    if (bits == 0 || bits > 63) throw std::invalid_argument("ReadCounter: bits must be 1..63");
+  }
+
+  /// Clocks the counter once (call per read when read_enable is high).
+  void increment() noexcept { value_ = (value_ + 1) & mask(); }
+
+  /// Clocks the counter only when `read_enable` is true; returns msb() after.
+  bool clock(bool read_enable) noexcept {
+    if (read_enable) increment();
+    return msb();
+  }
+
+  /// Most-significant bit = Switch.
+  bool msb() const noexcept { return ((value_ >> (bits_ - 1)) & 1u) != 0; }
+
+  std::uint64_t value() const noexcept { return value_; }
+  unsigned bits() const noexcept { return bits_; }
+
+  /// Number of reads between input swaps: 2^(N-1).
+  std::uint64_t switch_period() const noexcept { return std::uint64_t{1} << (bits_ - 1); }
+
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t mask() const noexcept { return (std::uint64_t{1} << bits_) - 1; }
+
+  unsigned bits_;
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace issa::digital

@@ -1,0 +1,151 @@
+#include "issa/digital/event_sim.hpp"
+
+#include <stdexcept>
+
+namespace issa::digital {
+
+SignalId EventSimulator::add_input(std::string name) {
+  Signal s;
+  s.name = std::move(name);
+  s.kind = GateKind::kInput;
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+SignalId EventSimulator::add_placeholder(std::string name) {
+  Signal s;
+  s.name = std::move(name);
+  s.kind = GateKind::kPlaceholder;
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+void EventSimulator::bind_placeholder(SignalId placeholder, Gate kind, SignalId a, SignalId b,
+                                      double delay) {
+  if (placeholder >= signals_.size() || a >= signals_.size() || b >= signals_.size()) {
+    throw std::out_of_range("bind_placeholder: signal does not exist");
+  }
+  if (delay < 0.0) throw std::invalid_argument("bind_placeholder: negative gate delay");
+  Signal& s = signals_[placeholder];
+  if (s.kind != GateKind::kPlaceholder) {
+    throw std::invalid_argument("bind_placeholder: '" + s.name + "' is not an unbound placeholder");
+  }
+  switch (kind) {
+    case Gate::kNot: s.kind = GateKind::kNot; b = a; break;
+    case Gate::kNand: s.kind = GateKind::kNand; break;
+    case Gate::kNor: s.kind = GateKind::kNor; break;
+    case Gate::kAnd: s.kind = GateKind::kAnd; break;
+    case Gate::kOr: s.kind = GateKind::kOr; break;
+    case Gate::kXor: s.kind = GateKind::kXor; break;
+  }
+  s.in_a = a;
+  s.in_b = b;
+  s.delay = delay;
+  signals_[a].fanout.push_back(placeholder);
+  if (b != a || s.kind != GateKind::kNot) signals_[b].fanout.push_back(placeholder);
+  // Evaluate once so the gate reacts to inputs that settled before binding.
+  const LogicValue next = evaluate(signals_[placeholder]);
+  if (next != signals_[placeholder].value) schedule(placeholder, next, now_ + s.delay);
+}
+
+SignalId EventSimulator::add_gate(std::string name, GateKind kind, SignalId a, SignalId b,
+                                  double delay) {
+  if (a >= signals_.size() || b >= signals_.size()) {
+    throw std::out_of_range("EventSimulator: gate input signal does not exist");
+  }
+  if (delay < 0.0) throw std::invalid_argument("EventSimulator: negative gate delay");
+  Signal s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.in_a = a;
+  s.in_b = b;
+  s.delay = delay;
+  signals_.push_back(std::move(s));
+  const SignalId id = signals_.size() - 1;
+  signals_[a].fanout.push_back(id);
+  if (b != a || kind != GateKind::kNot) signals_[b].fanout.push_back(id);
+  return id;
+}
+
+SignalId EventSimulator::add_not(std::string name, SignalId a, double delay) {
+  return add_gate(std::move(name), GateKind::kNot, a, a, delay);
+}
+SignalId EventSimulator::add_nand(std::string name, SignalId a, SignalId b, double delay) {
+  return add_gate(std::move(name), GateKind::kNand, a, b, delay);
+}
+SignalId EventSimulator::add_nor(std::string name, SignalId a, SignalId b, double delay) {
+  return add_gate(std::move(name), GateKind::kNor, a, b, delay);
+}
+SignalId EventSimulator::add_and(std::string name, SignalId a, SignalId b, double delay) {
+  return add_gate(std::move(name), GateKind::kAnd, a, b, delay);
+}
+SignalId EventSimulator::add_or(std::string name, SignalId a, SignalId b, double delay) {
+  return add_gate(std::move(name), GateKind::kOr, a, b, delay);
+}
+SignalId EventSimulator::add_xor(std::string name, SignalId a, SignalId b, double delay) {
+  return add_gate(std::move(name), GateKind::kXor, a, b, delay);
+}
+
+LogicValue EventSimulator::evaluate(const Signal& s) const {
+  const LogicValue a = signals_[s.in_a].value;
+  const LogicValue b = signals_[s.in_b].value;
+  switch (s.kind) {
+    case GateKind::kNot: return logic_not(a);
+    case GateKind::kNand: return logic_nand(a, b);
+    case GateKind::kNor: return logic_nor(a, b);
+    case GateKind::kAnd: return logic_and(a, b);
+    case GateKind::kOr: return logic_or(a, b);
+    case GateKind::kXor: return logic_xor(a, b);
+    case GateKind::kInput:
+    case GateKind::kPlaceholder:
+      break;
+  }
+  return s.value;
+}
+
+void EventSimulator::set_input(SignalId input, LogicValue value, double time) {
+  if (signals_.at(input).kind != GateKind::kInput) {
+    throw std::invalid_argument("EventSimulator: set_input on a gate output");
+  }
+  if (time < now_) throw std::invalid_argument("EventSimulator: cannot schedule in the past");
+  schedule(input, value, time);
+}
+
+void EventSimulator::schedule(SignalId signal, LogicValue value, double time) {
+  Signal& s = signals_[signal];
+  const std::uint64_t seq = sequence_++;
+  if (s.kind != GateKind::kInput) {
+    // Inertial delay: this evaluation supersedes any pending transition.
+    s.has_pending = true;
+    s.pending_value = value;
+    s.pending_seq = seq;
+  }
+  queue_.push(Event{time, seq, signal, value});
+}
+
+double EventSimulator::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++event_count_;
+    Signal& s = signals_[ev.signal];
+    if (s.kind != GateKind::kInput) {
+      if (ev.sequence != s.pending_seq) continue;  // superseded by a newer evaluation
+      s.has_pending = false;
+    }
+    if (s.value == ev.value) continue;  // no actual change
+    s.value = ev.value;
+    s.history.push_back({now_, ev.value});
+    for (const SignalId out : s.fanout) {
+      const Signal& gate = signals_[out];
+      const LogicValue next = evaluate(gate);
+      const LogicValue effective = gate.has_pending ? gate.pending_value : gate.value;
+      if (next != effective) schedule(out, next, now_ + gate.delay);
+    }
+  }
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+}  // namespace issa::digital

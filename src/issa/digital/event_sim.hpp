@@ -1,0 +1,118 @@
+// A small event-driven gate-level simulator.
+//
+// The ISSA control block (Fig. 3 of the paper) is two NAND gates plus an
+// inverter fed by a counter bit; this simulator lets us model it with real
+// gate delays, verify the Table-I truth table including glitch behaviour,
+// and emit the SAenableA/SAenableB control waveforms that the analog
+// simulator consumes as PWL sources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "issa/digital/logic.hpp"
+
+namespace issa::digital {
+
+using SignalId = std::size_t;
+
+/// A recorded (time, value) transition on a signal.
+struct Transition {
+  double time = 0.0;
+  LogicValue value = LogicValue::kX;
+};
+
+class EventSimulator {
+ public:
+  /// Creates a primary input, initially X.
+  SignalId add_input(std::string name);
+
+  /// Creates a placeholder signal that can later be bound to a gate with
+  /// bind_placeholder().  This is how feedback loops (latches, flip-flops)
+  /// are constructed: reserve the loop signal first, reference it from the
+  /// gates inside the loop, then bind it.
+  SignalId add_placeholder(std::string name);
+
+  /// Gate kinds bindable to a placeholder.
+  enum class Gate : std::uint8_t { kNot, kNand, kNor, kAnd, kOr, kXor };
+
+  /// Turns a placeholder into a gate of the given kind.  For kNot, `b` is
+  /// ignored.  Throws if the signal is not an unbound placeholder.
+  void bind_placeholder(SignalId placeholder, Gate kind, SignalId a, SignalId b, double delay);
+
+  /// Gates.  `delay` is the propagation delay in seconds (>= 0); zero-delay
+  /// gates still schedule as delta events so feedback loops settle iteratively.
+  SignalId add_not(std::string name, SignalId a, double delay);
+  SignalId add_nand(std::string name, SignalId a, SignalId b, double delay);
+  SignalId add_nor(std::string name, SignalId a, SignalId b, double delay);
+  SignalId add_and(std::string name, SignalId a, SignalId b, double delay);
+  SignalId add_or(std::string name, SignalId a, SignalId b, double delay);
+  SignalId add_xor(std::string name, SignalId a, SignalId b, double delay);
+
+  std::size_t signal_count() const noexcept { return signals_.size(); }
+  const std::string& signal_name(SignalId id) const { return signals_.at(id).name; }
+
+  /// Schedules a primary-input change at `time` (>= current time).
+  void set_input(SignalId input, LogicValue value, double time);
+
+  /// Runs until the event queue is empty or `until` is reached.
+  /// Returns the simulation time afterwards.
+  double run_until(double until);
+
+  /// Current value of any signal.
+  LogicValue value(SignalId id) const { return signals_.at(id).value; }
+
+  /// Full transition history of a signal (includes the initial X->v events).
+  const std::vector<Transition>& history(SignalId id) const { return signals_.at(id).history; }
+
+  double now() const noexcept { return now_; }
+
+  /// Total number of evaluated events (activity proxy for energy estimates).
+  std::uint64_t event_count() const noexcept { return event_count_; }
+
+ private:
+  enum class GateKind : std::uint8_t { kInput, kPlaceholder, kNot, kNand, kNor, kAnd, kOr, kXor };
+
+  struct Signal {
+    std::string name;
+    GateKind kind = GateKind::kInput;
+    SignalId in_a = 0;
+    SignalId in_b = 0;
+    double delay = 0.0;
+    LogicValue value = LogicValue::kX;
+    std::vector<SignalId> fanout;
+    std::vector<Transition> history;
+    // Inertial-delay bookkeeping (gates only): a newer evaluation supersedes
+    // any still-pending transition, so stale glitches cannot re-fire after
+    // the gate's inputs have already settled to the old output value.
+    bool has_pending = false;
+    LogicValue pending_value = LogicValue::kX;
+    std::uint64_t pending_seq = 0;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t sequence;  // FIFO tie-break for equal times
+    SignalId signal;
+    LogicValue value;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  SignalId add_gate(std::string name, GateKind kind, SignalId a, SignalId b, double delay);
+  LogicValue evaluate(const Signal& s) const;
+  void schedule(SignalId signal, LogicValue value, double time);
+
+  std::vector<Signal> signals_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t event_count_ = 0;
+};
+
+}  // namespace issa::digital

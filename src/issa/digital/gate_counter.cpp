@@ -1,0 +1,80 @@
+#include "issa/digital/gate_counter.hpp"
+
+#include <stdexcept>
+
+namespace issa::digital {
+
+GateLevelCounter::GateLevelCounter(EventSimulator& sim, unsigned bits, double gate_delay)
+    : sim_(sim), gate_delay_(gate_delay) {
+  if (bits == 0) throw std::invalid_argument("GateLevelCounter: bits must be > 0");
+  clk_ = sim_.add_input("ctr_clk");
+  rst_ = sim_.add_input("ctr_rst");
+  rst_bar_ = sim_.add_not("ctr_rst_bar", rst_, gate_delay_);
+  ++gate_count_;
+
+  SignalId stage_clk = clk_;
+  for (unsigned i = 0; i < bits; ++i) {
+    const Bit bit = build_bit("ctr_b" + std::to_string(i), stage_clk);
+    bits_.push_back(bit);
+    stage_clk = bit.q;  // ripple: next stage toggles when this Q falls
+  }
+}
+
+SignalId GateLevelCounter::build_latch(const std::string& name, SignalId d, SignalId en,
+                                       SignalId en_bar) {
+  // out = rst_bar AND (en*d + en_bar*out + d*out); the d*out keeper removes
+  // the classic mux-latch hazard when `en` switches while d == out == 1.
+  const SignalId out = sim_.add_placeholder(name + "_q");
+  const SignalId sel = sim_.add_and(name + "_sel", en, d, gate_delay_);
+  const SignalId hold = sim_.add_and(name + "_hold", en_bar, out, gate_delay_);
+  const SignalId keep = sim_.add_and(name + "_keep", d, out, gate_delay_);
+  const SignalId or1 = sim_.add_or(name + "_or1", sel, hold, gate_delay_);
+  const SignalId or2 = sim_.add_or(name + "_or2", or1, keep, gate_delay_);
+  sim_.bind_placeholder(out, EventSimulator::Gate::kAnd, or2, rst_bar_, gate_delay_);
+  gate_count_ += 6;
+  return out;
+}
+
+GateLevelCounter::Bit GateLevelCounter::build_bit(const std::string& prefix, SignalId stage_clk) {
+  const SignalId clk_bar = sim_.add_not(prefix + "_clkb", stage_clk, gate_delay_);
+  ++gate_count_;
+
+  // The toggle loop: qbar -> master (transparent at clk=1) -> slave
+  // (transparent at clk=0) -> q -> qbar.  Reserve q's inverter input by
+  // building the slave around a placeholder chain: all ids must exist before
+  // they are referenced, so reserve qbar first.
+  const SignalId qbar = sim_.add_placeholder(prefix + "_qbar");
+  const SignalId master = build_latch(prefix + "_m", qbar, stage_clk, clk_bar);
+  const SignalId slave = build_latch(prefix + "_s", master, clk_bar, stage_clk);
+  sim_.bind_placeholder(qbar, EventSimulator::Gate::kNot, slave, slave, gate_delay_);
+  ++gate_count_;
+  return Bit{slave, qbar};
+}
+
+std::uint64_t GateLevelCounter::value() const {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits_.size(); ++i) {
+    if (is_high(sim_.value(bits_[i].q))) v |= (std::uint64_t{1} << i);
+  }
+  return v;
+}
+
+double GateLevelCounter::reset_then_settle(double start_time) {
+  sim_.set_input(rst_, LogicValue::k1, start_time);
+  sim_.set_input(clk_, LogicValue::k0, start_time);
+  double t = sim_.run_until(start_time + 400.0 * gate_delay_);
+  sim_.set_input(rst_, LogicValue::k0, t + gate_delay_);
+  t = sim_.run_until(t + 400.0 * gate_delay_);
+  return t;
+}
+
+double GateLevelCounter::pulse_clock(double at_time) {
+  const double window = 100.0 * gate_delay_ * static_cast<double>(bits_.size());
+  sim_.set_input(clk_, LogicValue::k1, at_time);
+  double t = sim_.run_until(at_time + window);
+  sim_.set_input(clk_, LogicValue::k0, t + gate_delay_);
+  t = sim_.run_until(t + window);
+  return t;
+}
+
+}  // namespace issa::digital

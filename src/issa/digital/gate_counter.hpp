@@ -1,0 +1,77 @@
+// Gate-level realization of the ISSA read counter.
+//
+// The behavioral ReadCounter answers "what does the Switch signal do"; this
+// module answers "is the Fig. 3 control block actually implementable with a
+// handful of gates".  Each bit is a toggle flip-flop made of two hazard-free
+// mux latches (master transparent while its stage clock is high, slave while
+// it is low), with D wired to Qbar; bits ripple: bit i is clocked by bit
+// i-1's Q, so the chain counts up on falling clock edges.
+//
+// An active-high reset drives every latch to 0 (the event simulator starts
+// all signals at X, which would persist in the feedback loops forever).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "issa/digital/event_sim.hpp"
+
+namespace issa::digital {
+
+class GateLevelCounter {
+ public:
+  /// Builds a `bits`-wide ripple counter inside `sim` with the given
+  /// per-gate propagation delay.  Call reset_then_settle() before counting.
+  GateLevelCounter(EventSimulator& sim, unsigned bits, double gate_delay = 5e-12);
+
+  /// The clock input: one full pulse (rise then fall) advances the count.
+  SignalId clock_input() const noexcept { return clk_; }
+
+  /// Active-high reset input.
+  SignalId reset_input() const noexcept { return rst_; }
+
+  /// Q output of bit i (bit 0 = LSB).
+  SignalId bit_output(unsigned i) const { return bits_.at(i).q; }
+
+  /// The Switch signal = MSB.
+  SignalId switch_output() const { return bits_.back().q; }
+
+  unsigned width() const noexcept { return static_cast<unsigned>(bits_.size()); }
+
+  /// Number of gates instantiated (area proxy for the Sec. IV-C discussion).
+  std::size_t gate_count() const noexcept { return gate_count_; }
+
+  /// Asserts reset, lets the network settle, releases reset.  Returns the
+  /// simulation time afterwards.
+  double reset_then_settle(double start_time = 0.0);
+
+  /// Applies one full clock pulse and returns the new simulation time.
+  double pulse_clock(double at_time);
+
+  /// Reads the counter value from the bit outputs (X bits read as 0).
+  std::uint64_t value() const;
+
+ private:
+  struct Bit {
+    SignalId q;
+    SignalId qbar;
+  };
+
+  /// Builds one transparent-high mux latch with a keeper term (hazard-free)
+  /// and reset; returns the latch output.
+  SignalId build_latch(const std::string& name, SignalId d, SignalId en, SignalId en_bar);
+
+  /// Builds one toggle flip-flop clocked by `stage_clk`.
+  Bit build_bit(const std::string& prefix, SignalId stage_clk);
+
+  EventSimulator& sim_;
+  double gate_delay_;
+  std::size_t gate_count_ = 0;
+  SignalId clk_ = 0;
+  SignalId rst_ = 0;
+  SignalId rst_bar_ = 0;
+  std::vector<Bit> bits_;
+};
+
+}  // namespace issa::digital

@@ -1,0 +1,42 @@
+#include "issa/digital/logic.hpp"
+
+namespace issa::digital {
+
+LogicValue logic_not(LogicValue a) noexcept {
+  switch (a) {
+    case LogicValue::k0: return LogicValue::k1;
+    case LogicValue::k1: return LogicValue::k0;
+    default: return LogicValue::kX;
+  }
+}
+
+LogicValue logic_and(LogicValue a, LogicValue b) noexcept {
+  if (a == LogicValue::k0 || b == LogicValue::k0) return LogicValue::k0;  // controlling value
+  if (a == LogicValue::k1 && b == LogicValue::k1) return LogicValue::k1;
+  return LogicValue::kX;
+}
+
+LogicValue logic_or(LogicValue a, LogicValue b) noexcept {
+  if (a == LogicValue::k1 || b == LogicValue::k1) return LogicValue::k1;  // controlling value
+  if (a == LogicValue::k0 && b == LogicValue::k0) return LogicValue::k0;
+  return LogicValue::kX;
+}
+
+LogicValue logic_nand(LogicValue a, LogicValue b) noexcept { return logic_not(logic_and(a, b)); }
+
+LogicValue logic_nor(LogicValue a, LogicValue b) noexcept { return logic_not(logic_or(a, b)); }
+
+LogicValue logic_xor(LogicValue a, LogicValue b) noexcept {
+  if (!is_known(a) || !is_known(b)) return LogicValue::kX;
+  return to_logic(a != b);
+}
+
+std::string to_string(LogicValue v) {
+  switch (v) {
+    case LogicValue::k0: return "0";
+    case LogicValue::k1: return "1";
+    default: return "X";
+  }
+}
+
+}  // namespace issa::digital

@@ -1,0 +1,29 @@
+// Three-valued logic primitives for the control-logic simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace issa::digital {
+
+/// 0, 1, or unknown (X).  X propagates pessimistically through gates.
+enum class LogicValue : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+LogicValue logic_not(LogicValue a) noexcept;
+LogicValue logic_and(LogicValue a, LogicValue b) noexcept;
+LogicValue logic_or(LogicValue a, LogicValue b) noexcept;
+LogicValue logic_nand(LogicValue a, LogicValue b) noexcept;
+LogicValue logic_nor(LogicValue a, LogicValue b) noexcept;
+LogicValue logic_xor(LogicValue a, LogicValue b) noexcept;
+
+/// Converts a bool to a defined logic value.
+constexpr LogicValue to_logic(bool b) noexcept { return b ? LogicValue::k1 : LogicValue::k0; }
+
+/// True when the value is 1 (X counts as false); use is_known first when the
+/// distinction matters.
+constexpr bool is_high(LogicValue v) noexcept { return v == LogicValue::k1; }
+constexpr bool is_known(LogicValue v) noexcept { return v != LogicValue::kX; }
+
+std::string to_string(LogicValue v);
+
+}  // namespace issa::digital

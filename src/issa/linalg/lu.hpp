@@ -1,0 +1,41 @@
+// LU decomposition with partial pivoting, the linear kernel behind every
+// Newton iteration of the circuit solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "issa/linalg/matrix.hpp"
+
+namespace issa::linalg {
+
+/// In-place LU factorization of a square matrix with row pivoting.
+/// Reusable across solves with different right-hand sides.
+class LuFactorization {
+ public:
+  /// Factorizes a copy of `a`.  Throws std::runtime_error when the matrix is
+  /// numerically singular (pivot below `min_pivot`).
+  explicit LuFactorization(const Matrix& a, double min_pivot = 1e-14);
+
+  std::size_t size() const noexcept { return lu_.rows(); }
+
+  /// Solves A x = b; returns x.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves in place: b is replaced by x.
+  void solve_in_place(std::span<double> b) const;
+
+  /// |det(A)| growth indicator: product of pivot magnitudes (log-scaled
+  /// externally when needed).
+  double min_pivot_magnitude() const noexcept { return min_pivot_seen_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  double min_pivot_seen_ = 0.0;
+};
+
+/// Convenience one-shot solve.
+std::vector<double> solve_linear_system(const Matrix& a, std::span<const double> b);
+
+}  // namespace issa::linalg

@@ -1,0 +1,96 @@
+#include "issa/mem/array.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace issa::mem {
+
+SramArray::SramArray(SramArrayConfig config) : config_(config) {
+  if (config_.rows == 0 || config_.columns == 0 || config_.columns_per_control == 0) {
+    throw std::invalid_argument("SramArray: geometry must be non-zero");
+  }
+  data_.assign(config_.rows, std::vector<bool>(config_.columns, false));
+  const std::size_t groups =
+      (config_.columns + config_.columns_per_control - 1) / config_.columns_per_control;
+  controllers_.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) controllers_.emplace_back(config_.counter_bits);
+  column_stats_.resize(config_.columns);
+  column_offsets_.assign(config_.columns, 0.0);
+}
+
+void SramArray::write(std::size_t row, const std::vector<bool>& word) {
+  if (row >= config_.rows) throw std::out_of_range("SramArray::write: bad row");
+  if (word.size() != config_.columns) {
+    throw std::invalid_argument("SramArray::write: word width mismatch");
+  }
+  data_[row] = word;
+}
+
+ReadResult SramArray::read(std::size_t row) { return read_with_swing(row, 1.0); }
+
+ReadResult SramArray::read_with_swing(std::size_t row, double swing) {
+  if (row >= config_.rows) throw std::out_of_range("SramArray::read: bad row");
+  if (!(swing > 0.0)) throw std::invalid_argument("SramArray::read: swing must be > 0");
+
+  ReadResult result;
+  result.data.resize(config_.columns);
+
+  // Capture each group's Switch state for this access, then clock once.
+  std::vector<bool> swapped(controllers_.size(), false);
+  if (config_.input_switching) {
+    for (std::size_t g = 0; g < controllers_.size(); ++g) {
+      swapped[g] = controllers_[g].switch_signal();
+    }
+  }
+
+  for (std::size_t c = 0; c < config_.columns; ++c) {
+    const bool stored = data_[row][c];
+    const bool sw = config_.input_switching && swapped[group_of(c)];
+    // Value at the SA's internal nodes (crossed when swapped).
+    const bool internal = sw ? !stored : stored;
+    ++column_stats_[c].reads;
+    if (internal) ++column_stats_[c].internal_ones;
+
+    // Error model: the SA resolves `internal` correctly only when the
+    // developed differential exceeds its offset in that read direction
+    // (offset > 0 = extra swing needed to read 0, paper convention).
+    const double offset = column_offsets_[c];
+    bool sensed = internal;
+    const bool fails = internal ? (swing < -offset) : (swing < offset);
+    if (fails) {
+      sensed = !internal;
+      ++result.bit_errors;
+    }
+    // Output correction undoes the swap.
+    result.data[c] = sw ? !sensed : sensed;
+  }
+
+  if (config_.input_switching) {
+    for (auto& ctl : controllers_) ctl.process_read(false);  // clock the counters
+  }
+  ++reads_;
+  return result;
+}
+
+void SramArray::set_column_offset(std::size_t column, double offset) {
+  if (column >= config_.columns) throw std::out_of_range("SramArray: bad column");
+  column_offsets_[column] = offset;
+}
+
+double SramArray::internal_one_fraction(std::size_t column) const {
+  if (column >= config_.columns) throw std::out_of_range("SramArray: bad column");
+  const auto& s = column_stats_[column];
+  return s.reads == 0 ? 0.0
+                      : static_cast<double>(s.internal_ones) / static_cast<double>(s.reads);
+}
+
+double SramArray::worst_internal_imbalance() const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < config_.columns; ++c) {
+    if (column_stats_[c].reads == 0) continue;
+    worst = std::max(worst, std::fabs(2.0 * internal_one_fraction(c) - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace issa::mem

@@ -1,0 +1,78 @@
+// Behavioral SRAM array with ISSA control: the system-level integration of
+// the scheme.  One shared controller per column group swaps every SA in the
+// group simultaneously (the paper's "shared by multiple columns" argument);
+// reads return corrected data, and the array tracks the internal read-value
+// statistics that determine each column's aging balance.
+//
+// An optional per-column offset + provisioned-swing error model connects the
+// analog offset results back to functional read errors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "issa/digital/control.hpp"
+
+namespace issa::mem {
+
+struct SramArrayConfig {
+  std::size_t rows = 256;
+  std::size_t columns = 64;
+  std::size_t columns_per_control = 64;  ///< SAs sharing one ISSA controller
+  unsigned counter_bits = 8;
+  bool input_switching = true;  ///< false = plain NSSA column (no balancing)
+};
+
+/// Result of one word read.
+struct ReadResult {
+  std::vector<bool> data;    ///< corrected output word
+  std::size_t bit_errors = 0;  ///< sensing failures under the error model
+};
+
+class SramArray {
+ public:
+  explicit SramArray(SramArrayConfig config = {});
+
+  const SramArrayConfig& config() const noexcept { return config_; }
+
+  void write(std::size_t row, const std::vector<bool>& word);
+
+  /// Reads a word.  Clocks the group controllers (when switching is on),
+  /// applies output correction, and accumulates internal statistics.
+  ReadResult read(std::size_t row);
+
+  /// Same, with the error model: a column whose SA offset exceeds the
+  /// provisioned differential in the read direction senses the wrong value
+  /// (offset in the paper's read-0-positive convention, volts).
+  ReadResult read_with_swing(std::size_t row, double swing);
+
+  /// Sets the SA offset of one column for the error model [V].
+  void set_column_offset(std::size_t column, double offset);
+
+  /// Internal 1-fraction seen by a column's SA so far (0.5 = balanced aging).
+  double internal_one_fraction(std::size_t column) const;
+
+  /// Worst internal imbalance across all columns (0 = perfectly balanced).
+  double worst_internal_imbalance() const;
+
+  std::uint64_t reads_performed() const noexcept { return reads_; }
+
+ private:
+  struct ColumnStats {
+    std::uint64_t reads = 0;
+    std::uint64_t internal_ones = 0;
+  };
+
+  std::size_t group_of(std::size_t column) const {
+    return column / config_.columns_per_control;
+  }
+
+  SramArrayConfig config_;
+  std::vector<std::vector<bool>> data_;     // [row][column]
+  std::vector<digital::IssaController> controllers_;  // one per column group
+  std::vector<ColumnStats> column_stats_;
+  std::vector<double> column_offsets_;      // [column], volts
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace issa::mem

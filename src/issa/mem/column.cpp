@@ -1,0 +1,21 @@
+#include "issa/mem/column.hpp"
+
+#include <utility>
+
+namespace issa::mem {
+
+ColumnReadPath::ColumnReadPath(ReadPathParams params)
+    : params_(std::move(params)), bitline_(params_.bitline) {}
+
+ReadTiming ColumnReadPath::timing(double offset_spec, double sense_delay, double vdd,
+                                  double temperature_k) const {
+  ReadTiming t;
+  t.wordline = params_.wordline_delay;
+  t.bitline_develop =
+      bitline_.discharge_time(offset_spec + params_.swing_margin, vdd, temperature_k);
+  t.sense = sense_delay;
+  t.output = params_.output_delay;
+  return t;
+}
+
+}  // namespace issa::mem

@@ -1,0 +1,44 @@
+// Column read-path timing: translates an SA offset spec + sensing delay into
+// a memory read time, quantifying the paper's system-level claim that a
+// smaller aged offset spec makes the overall memory faster.
+#pragma once
+
+#include "issa/mem/bitline.hpp"
+
+namespace issa::mem {
+
+struct ReadPathParams {
+  BitlineParams bitline;
+  double wordline_delay = 40e-12;  ///< address decode + wordline rise [s]
+  double output_delay = 25e-12;    ///< output mux/driver after the SA [s]
+  /// Swing margin on top of the offset spec (noise, timing skew).
+  double swing_margin = 20e-3;     ///< [V]
+};
+
+/// Decomposed read time for one (offset spec, sensing delay) operating point.
+struct ReadTiming {
+  double wordline = 0.0;       ///< [s]
+  double bitline_develop = 0.0;  ///< time to reach spec + margin [s]
+  double sense = 0.0;          ///< SA sensing delay [s]
+  double output = 0.0;         ///< [s]
+
+  double total() const { return wordline + bitline_develop + sense + output; }
+};
+
+class ColumnReadPath {
+ public:
+  explicit ColumnReadPath(ReadPathParams params = {});
+
+  /// Read timing when the SA requires `offset_spec` volts of differential
+  /// and resolves in `sense_delay` seconds.
+  ReadTiming timing(double offset_spec, double sense_delay, double vdd,
+                    double temperature_k) const;
+
+  const ReadPathParams& params() const noexcept { return params_; }
+
+ private:
+  ReadPathParams params_;
+  Bitline bitline_;
+};
+
+}  // namespace issa::mem

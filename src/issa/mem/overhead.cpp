@@ -1,0 +1,87 @@
+#include "issa/mem/overhead.hpp"
+
+#include <stdexcept>
+
+namespace issa::mem {
+
+namespace {
+
+// Layout blow-up over pure active area (contacts, poly pitch, spacing).
+constexpr double kLayoutFactor = 6.0;
+// 6T cell area in a 45 nm process [m^2] (~0.37 um^2 published values).
+constexpr double kCellArea = 0.37e-12;
+// Reference length for W/L-based device area.
+constexpr double kL = 45e-9;
+
+double device_area(double w_over_l) { return kLayoutFactor * (w_over_l * kL) * kL; }
+
+// Transistors per D-flip-flop in a standard-cell counter bit (TGFF).
+constexpr std::size_t kTransistorsPerDff = 24;
+// A counter bit also needs a half-adder-ish increment gate.
+constexpr std::size_t kTransistorsPerCounterIncrement = 8;
+
+}  // namespace
+
+TransistorCounts transistor_counts(unsigned counter_bits) {
+  TransistorCounts c;
+  // Fig. 1: 2 pass + 4 cross-coupled + Mtop + Mbottom + 2 output inverters.
+  c.baseline_sa = 2 + 4 + 2 + 4;
+  // Fig. 2 adds one extra pass pair (M3/M4).
+  c.issa_sa = c.baseline_sa + 2;
+  // Fig. 3: N-bit counter + 2 NAND + 1 inverter.
+  c.control_block =
+      counter_bits * (kTransistorsPerDff + kTransistorsPerCounterIncrement) + 2 * 4 + 2;
+  return c;
+}
+
+AreaBreakdown area_breakdown(const ArrayGeometry& geometry, const sa::SenseAmpSizing& sizing) {
+  if (geometry.columns == 0 || geometry.rows == 0 || geometry.columns_per_control == 0) {
+    throw std::invalid_argument("area_breakdown: geometry must be non-zero");
+  }
+  AreaBreakdown a;
+  a.cell_array = static_cast<double>(geometry.rows) * static_cast<double>(geometry.columns) *
+                 kCellArea;
+
+  const double one_sa = 2.0 * device_area(sizing.pass_wl) + 2.0 * device_area(sizing.mdown_wl) +
+                        2.0 * device_area(sizing.mup_wl) + device_area(sizing.mtop_wl) +
+                        device_area(sizing.mbottom_wl) +
+                        2.0 * (device_area(sizing.out_n_wl) + device_area(sizing.out_p_wl));
+  a.sense_amps = static_cast<double>(geometry.columns) * one_sa;
+
+  a.issa_extra_pass =
+      static_cast<double>(geometry.columns) * 2.0 * device_area(sizing.pass_wl);
+
+  const TransistorCounts counts = transistor_counts(geometry.counter_bits);
+  const double min_device = device_area(2.0);  // typical logic transistor
+  const double control_blocks =
+      static_cast<double>((geometry.columns + geometry.columns_per_control - 1) /
+                          geometry.columns_per_control);
+  a.issa_control = control_blocks * static_cast<double>(counts.control_block) * min_device;
+
+  // One XOR (~8 transistors) per column for output-value correction.
+  a.issa_invert = static_cast<double>(geometry.columns) * 8.0 * min_device;
+  return a;
+}
+
+EnergyBreakdown energy_breakdown(const ArrayGeometry& geometry, double vdd, double bitline_swing,
+                                 double bitline_cap) {
+  if (!(vdd > 0.0)) throw std::invalid_argument("energy_breakdown: vdd must be > 0");
+  EnergyBreakdown e;
+  // Baseline read: bitline swings by `bitline_swing`, the SA internal nodes
+  // (2 x ~1 fF + parasitics) swing rail to rail.
+  const double sa_cap = 4e-15;
+  e.read_dynamic = bitline_cap * bitline_swing * vdd + sa_cap * vdd * vdd;
+
+  // Counter: average toggles per binary increment -> sum over bits of
+  // 2^-k < 2 flips; each flip charges a DFF's internal load (~1.2 fF).
+  const double dff_cap = 1.2e-15;
+  const double avg_toggles = 2.0;  // asymptotic for a ripple/binary counter
+  const double counter_energy = avg_toggles * dff_cap * vdd * vdd;
+  // NAND decode activity: the enables toggle once per read.
+  const double gate_energy = 3.0 * 0.3e-15 * vdd * vdd;
+  e.counter_per_read =
+      (counter_energy + gate_energy) / static_cast<double>(geometry.columns_per_control);
+  return e;
+}
+
+}  // namespace issa::mem

@@ -1,0 +1,65 @@
+// Area and energy overhead accounting for the ISSA scheme (paper Sec. IV-C).
+//
+// The ISSA adds, per SA, one extra pass-transistor pair plus an output
+// inverter-control (XOR) for value correction; per group of m columns it adds
+// one N-bit counter, two NANDs, and one inverter, all shared.  The paper
+// argues this is marginal because the cell matrix dominates memory area
+// (typically > 70%); this module makes that argument quantitative.
+#pragma once
+
+#include <cstddef>
+
+#include "issa/sa/config.hpp"
+
+namespace issa::mem {
+
+struct ArrayGeometry {
+  std::size_t rows = 256;
+  std::size_t columns = 128;
+  std::size_t columns_per_control = 128;  ///< SAs sharing one ISSA control block
+  unsigned counter_bits = 8;
+};
+
+struct AreaBreakdown {
+  double cell_array = 0.0;      ///< [m^2]
+  double sense_amps = 0.0;      ///< [m^2]
+  double issa_extra_pass = 0.0; ///< added pass transistors [m^2]
+  double issa_control = 0.0;    ///< counter + gates, amortized [m^2]
+  double issa_invert = 0.0;     ///< output-correction XORs [m^2]
+
+  double baseline_total() const { return cell_array + sense_amps; }
+  double issa_total() const {
+    return baseline_total() + issa_extra_pass + issa_control + issa_invert;
+  }
+  /// ISSA area overhead relative to the baseline array.
+  double overhead_fraction() const {
+    return (issa_total() - baseline_total()) / baseline_total();
+  }
+};
+
+/// Transistor-level area model: active area = sum of W * L times a layout
+/// factor for contacts/spacing.
+AreaBreakdown area_breakdown(const ArrayGeometry& geometry, const sa::SenseAmpSizing& sizing);
+
+struct EnergyBreakdown {
+  double read_dynamic = 0.0;     ///< baseline energy per read, per column [J]
+  double counter_per_read = 0.0; ///< counter+decode energy per read, amortized per column [J]
+
+  double overhead_fraction() const { return counter_per_read / read_dynamic; }
+};
+
+/// Energy model: baseline read = bitline + SA node swing; counter = average
+/// bit toggles per increment (~2) times gate capacitance, shared by the
+/// column group.  Counters only clock on reads (no write/idle power).
+EnergyBreakdown energy_breakdown(const ArrayGeometry& geometry, double vdd,
+                                 double bitline_swing, double bitline_cap);
+
+/// Transistor counts (for the README-style summary table).
+struct TransistorCounts {
+  std::size_t baseline_sa = 0;   ///< per SA
+  std::size_t issa_sa = 0;       ///< per SA (extra pass pair)
+  std::size_t control_block = 0; ///< per column group (counter + 3 gates)
+};
+TransistorCounts transistor_counts(unsigned counter_bits);
+
+}  // namespace issa::mem

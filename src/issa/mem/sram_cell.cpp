@@ -1,0 +1,62 @@
+#include "issa/mem/sram_cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "issa/device/mosfet.hpp"
+
+namespace issa::mem {
+
+SramCell::SramCell(SramCellParams params) : params_(std::move(params)) {
+  if (params_.access_wl <= 0.0 || params_.driver_wl <= 0.0) {
+    throw std::invalid_argument("SramCell: W/L ratios must be > 0");
+  }
+}
+
+double SramCell::read_current(double v_bitline, double vdd, double temperature_k) const {
+  if (v_bitline <= 0.0) return 0.0;
+
+  device::MosInstance access;
+  access.card = params_.nmos;
+  access.type = device::MosType::kNmos;
+  access.w_over_l = params_.access_wl;
+
+  device::MosInstance driver;
+  driver.card = params_.nmos;
+  driver.type = device::MosType::kNmos;
+  driver.w_over_l = params_.driver_wl;
+
+  // Series pair: bitline -> access -> internal node vx -> driver -> ground,
+  // wordline and driver gate both at vdd.  Bisect on vx for current balance.
+  auto access_current = [&](double vx) {
+    device::MosTerminals t{vdd, v_bitline, vx, 0.0};
+    return device::evaluate_mosfet(access, t, temperature_k).id;
+  };
+  auto driver_current = [&](double vx) {
+    device::MosTerminals t{vdd, vx, 0.0, 0.0};
+    return device::evaluate_mosfet(driver, t, temperature_k).id;
+  };
+
+  double lo = 0.0;
+  double hi = v_bitline;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double vx = 0.5 * (lo + hi);
+    // Access current falls with vx (its source rises); driver current rises.
+    if (access_current(vx) > driver_current(vx)) {
+      lo = vx;
+    } else {
+      hi = vx;
+    }
+  }
+  const double vx = 0.5 * (lo + hi);
+  return driver_current(vx);
+}
+
+double SramCell::effective_discharge_current(double delta_v, double vdd,
+                                             double temperature_k) const {
+  const double i_start = read_current(vdd, vdd, temperature_k);
+  const double i_end = read_current(vdd - delta_v, vdd, temperature_k);
+  return 0.5 * (i_start + i_end);
+}
+
+}  // namespace issa::mem

@@ -1,0 +1,42 @@
+// 6T SRAM cell read-current model.
+//
+// During a read, the accessed cell sinks current from the precharged bitline
+// through the series pair access transistor + driver transistor.  The cell
+// read current sets how fast the bitline develops differential swing, which
+// is the quantity the SA offset spec gates (paper Sec. I: "a larger SA
+// offset requires a larger bitline swing, which means more time must be
+// allocated for the bitline discharge").
+#pragma once
+
+#include "issa/device/mos_params.hpp"
+
+namespace issa::mem {
+
+struct SramCellParams {
+  device::MosParams nmos = device::ptm45_nmos();
+  double access_wl = 1.5;  ///< access transistor W/L
+  double driver_wl = 2.0;  ///< pull-down driver W/L
+  /// Bitline-side junction + wire capacitance contributed per cell [F].
+  double bitline_cap_per_cell = 0.08e-15;
+};
+
+class SramCell {
+ public:
+  explicit SramCell(SramCellParams params = {});
+
+  /// Read current sunk from a bitline at `v_bitline` with the wordline at
+  /// `vdd` and the cell storing 0 on the accessed side [A].  Solves the
+  /// series access/driver pair for the internal node voltage.
+  double read_current(double v_bitline, double vdd, double temperature_k) const;
+
+  /// Effective (secant) discharge current while the bitline swings from vdd
+  /// to vdd - delta_v: the average of the endpoints' currents.
+  double effective_discharge_current(double delta_v, double vdd, double temperature_k) const;
+
+  const SramCellParams& params() const noexcept { return params_; }
+
+ private:
+  SramCellParams params_;
+};
+
+}  // namespace issa::mem

@@ -1,0 +1,134 @@
+#include "issa/sa/measure.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "issa/device/mosfet.hpp"
+#include "issa/workload/device_names.hpp"
+
+namespace issa::sa {
+
+namespace {
+
+circuit::TransientOptions transient_options(const SenseAmpCircuit& c, double vin) {
+  circuit::TransientOptions opt;
+  opt.tstop = c.config().timing.t_stop;
+  opt.dt = c.config().timing.dt;
+  opt.method = circuit::IntegrationMethod::kTrapezoidal;
+  opt.dc_guess = c.dc_guess(vin);
+  return opt;
+}
+
+SenseRunResult classify(const SenseAmpCircuit& c, const circuit::TransientResult& tr) {
+  SenseRunResult r;
+  r.s_final = tr.node_wave(c.node_s()).back();
+  r.sbar_final = tr.node_wave(c.node_sbar()).back();
+  r.read_one = r.s_final > r.sbar_final;
+
+  const double vdd_half = 0.5 * c.config().vdd;
+  const double t_enable = c.config().timing.t_fire + 0.5 * c.config().timing.t_rise;
+  // "the result is produced at the output (when Out or Outbar rises to 50% of
+  // Vdd)" — take whichever output resolves first.  Falling crossings are
+  // considered too so the measurement also covers topologies whose outputs
+  // precharge high (the double-tail SA's do).
+  std::optional<double> t_result;
+  for (const circuit::NodeId node : {c.node_out(), c.node_outbar()}) {
+    for (const bool rising : {true, false}) {
+      const auto t = tr.crossing_time(node, vdd_half, rising, t_enable);
+      if (t && (!t_result || *t < *t_result)) t_result = t;
+    }
+  }
+  if (t_result) r.delay = *t_result - t_enable;
+  return r;
+}
+
+}  // namespace
+
+circuit::TransientResult run_sense_transient(SenseAmpCircuit& circuit, double vin) {
+  circuit.set_input_differential(vin);
+  issa::circuit::Simulator sim(circuit.netlist(), circuit.config().temperature_k());
+  return sim.run_transient(transient_options(circuit, vin));
+}
+
+SenseRunResult run_sense(SenseAmpCircuit& circuit, double vin) {
+  const auto tr = run_sense_transient(circuit, vin);
+  return classify(circuit, tr);
+}
+
+OffsetResult measure_offset(SenseAmpCircuit& circuit, const OffsetSearchOptions& options) {
+  if (!(options.vmax > 0.0) || !(options.tolerance > 0.0) || options.tolerance >= options.vmax) {
+    throw std::invalid_argument("measure_offset: bad search options");
+  }
+  OffsetResult result;
+  double lo = -options.vmax;  // assumed to read 0
+  double hi = options.vmax;   // assumed to read 1
+  while (hi - lo > options.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    const SenseRunResult r = run_sense(circuit, mid);
+    ++result.transients;
+    if (r.read_one) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Report in the paper's read-0-direction convention (see OffsetResult).
+  result.offset = -0.5 * (lo + hi);
+  // If the bracket collapsed onto a window edge the true flip point lies
+  // outside [-vmax, vmax].
+  result.saturated = (options.vmax - std::fabs(result.offset)) < 2.0 * options.tolerance;
+  return result;
+}
+
+DelayPair measure_delay(SenseAmpCircuit& circuit, double vin_magnitude) {
+  if (!(vin_magnitude > 0.0)) throw std::invalid_argument("measure_delay: vin must be > 0");
+  for (int scale = 1; scale <= 4; ++scale) {
+    const double vin = vin_magnitude * scale;
+    const SenseRunResult one = run_sense(circuit, vin);
+    if (!one.delay || !one.read_one) continue;
+    const SenseRunResult zero = run_sense(circuit, -vin);
+    if (!zero.delay || zero.read_one) continue;
+    DelayPair d;
+    d.read_one = *one.delay;
+    d.read_zero = *zero.delay;
+    return d;
+  }
+  throw std::runtime_error("measure_delay: SA failed to resolve both directions up to " +
+                           std::to_string(4.0 * vin_magnitude) + " V of swing");
+}
+
+double estimate_offset_dc(const SenseAmpCircuit& circuit) {
+  namespace names = workload::names;
+  if (circuit.kind() != SenseAmpKind::kNssa && circuit.kind() != SenseAmpKind::kIssa) {
+    throw std::logic_error(
+        "estimate_offset_dc: first-order estimator is defined for the latch-type SA only");
+  }
+  const auto& net = circuit.netlist();
+  const auto& mdown = net.find_mosfet(names::kMdown);
+  const auto& mdownbar = net.find_mosfet(names::kMdownBar);
+  const auto& mup = net.find_mosfet(names::kMup);
+  const auto& mupbar = net.find_mosfet(names::kMupBar);
+
+  // Transconductance ratio at the metastable trip point (both internal nodes
+  // near Vdd/2, enable devices fully on).
+  const double vdd = circuit.config().vdd;
+  const double temp = circuit.config().temperature_k();
+  device::MosTerminals n_terms{0.5 * vdd, 0.5 * vdd, 0.0, 0.0};
+  device::MosTerminals p_terms{0.5 * vdd, 0.5 * vdd, vdd, vdd};
+  device::MosInstance nclean = mdown.inst;
+  nclean.delta_vth = 0.0;
+  device::MosInstance pclean = mup.inst;
+  pclean.delta_vth = 0.0;
+  const double gm_n = device::evaluate_mosfet(nclean, n_terms, temp).gm;
+  const double gm_p = device::evaluate_mosfet(pclean, p_terms, temp).gm;
+  const double k = gm_n > 0.0 ? gm_p / gm_n : 0.0;
+
+  // A higher Vth on Mdown weakens the read-0 pull-down of S, so more swing
+  // is needed in the read-0 direction (positive offset in the paper's
+  // convention); a higher |Vth| on MupBar weakens the pull-up of SBar with
+  // the same sign of effect, scaled by gm_p/gm_n.
+  return (mdown.inst.delta_vth - mdownbar.inst.delta_vth) +
+         k * (mupbar.inst.delta_vth - mup.inst.delta_vth);
+}
+
+}  // namespace issa::sa

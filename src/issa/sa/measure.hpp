@@ -1,0 +1,77 @@
+// Figure-of-merit measurements on a sense-amplifier testbench:
+//  * offset voltage of one SA instance — binary search on the input
+//    differential over full transient simulations (the paper's method);
+//  * sensing delay — SAenable reaching 50% Vdd to Out/OutBar reaching 50%.
+#pragma once
+
+#include <optional>
+
+#include "issa/circuit/simulator.hpp"
+#include "issa/sa/builder.hpp"
+
+namespace issa::sa {
+
+/// Outcome of one sensing operation.
+struct SenseRunResult {
+  bool read_one = false;              ///< sign of V(S) - V(SBar) at the end
+  std::optional<double> delay = {};   ///< sensing delay [s], when the output resolved
+  double s_final = 0.0;               ///< V(S) at t_stop
+  double sbar_final = 0.0;            ///< V(SBar) at t_stop
+};
+
+/// Runs one sensing operation with input differential `vin` (= V(BL) -
+/// V(BLBar)) and classifies the result.
+SenseRunResult run_sense(SenseAmpCircuit& circuit, double vin);
+
+/// Same, but returns the full transient for waveform export.
+circuit::TransientResult run_sense_transient(SenseAmpCircuit& circuit, double vin);
+
+struct OffsetSearchOptions {
+  double vmax = 0.25;        ///< search window: [-vmax, +vmax] [V]
+  double tolerance = 5e-5;   ///< stop when the bracket is this narrow [V]
+};
+
+struct OffsetResult {
+  /// Offset voltage in the paper's sign convention: the input differential
+  /// measured in the *read-0* direction at the decision flip.  Positive
+  /// offset means extra bitline swing is needed to read a 0 correctly —
+  /// exactly the shift Fig. 4 shows after r0-heavy aging (Mdown/MupBar
+  /// stressed).  Numerically this is the negated flip point of vin =
+  /// V(BL) - V(BLBar).
+  double offset = 0.0;
+  bool saturated = false;  ///< true when the flip lies outside the window
+  int transients = 0;      ///< number of transient simulations performed
+};
+
+/// Measures the offset voltage of the SA instance currently described by the
+/// circuit's threshold shifts.  The sensing decision is monotone in vin, so
+/// bisection brackets the flip point.
+OffsetResult measure_offset(SenseAmpCircuit& circuit, const OffsetSearchOptions& options = {});
+
+/// Sensing delays for both read directions at a given input magnitude.
+struct DelayPair {
+  double read_one = 0.0;   ///< delay when reading 1 (vin = +v) [s]
+  double read_zero = 0.0;  ///< delay when reading 0 (vin = -v) [s]
+
+  double mean() const { return 0.5 * (read_one + read_zero); }
+  double worst() const { return read_one > read_zero ? read_one : read_zero; }
+};
+
+/// Measures both delays with |vin| = `vin_magnitude` of bitline swing.  The
+/// default of 200 mV is a swing provisioned comfortably above the worst aged
+/// offsets, like a guardbanded memory would: an aged sample then pays for its
+/// offset through a reduced *effective* overdrive (swing minus offset), which
+/// is exactly the mechanism behind the paper's Fig. 7 delay blow-up of the
+/// unbalanced NSSA.  A sample whose offset exceeds even this swing cannot
+/// read one direction; the swing is then escalated (2x, 3x, 4x, applied to
+/// both directions so the sample stays self-consistent).  Throws
+/// std::runtime_error when even the largest swing fails to resolve.
+DelayPair measure_delay(SenseAmpCircuit& circuit, double vin_magnitude = 0.2);
+
+/// Cheap first-order offset estimate from the accumulated threshold shifts
+/// (no transient): dVos ~= (dVth_Mdown - dVth_MdownBar) + k (dVth_MupBar -
+/// dVth_Mup), with k the PMOS/NMOS transconductance ratio at the trip point.
+/// Used by the estimator-vs-transient ablation bench.
+double estimate_offset_dc(const SenseAmpCircuit& circuit);
+
+}  // namespace issa::sa

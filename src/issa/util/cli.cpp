@@ -1,0 +1,82 @@
+#include "issa/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace issa::util {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    args_ += argv[i];
+    args_ += '\n';
+  }
+}
+
+namespace {
+
+// Finds "--name=..." or "--name\n" in the flattened argument list and returns
+// the value portion ("" for bare flags), or nullopt when absent.
+std::optional<std::string> find_arg(const std::string& args, std::string_view name) {
+  const std::string key = "--" + std::string(name);
+  std::size_t pos = 0;
+  while (pos < args.size()) {
+    const std::size_t end = args.find('\n', pos);
+    const std::string_view token(args.data() + pos, end - pos);
+    if (token == key) return std::string{};
+    if (token.size() > key.size() && token.substr(0, key.size()) == key &&
+        token[key.size()] == '=') {
+      return std::string(token.substr(key.size() + 1));
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool Options::has_flag(std::string_view name) const {
+  const auto v = find_arg(args_, name);
+  if (!v) return false;
+  return *v != "0" && *v != "false";
+}
+
+std::optional<std::string> Options::get_string(std::string_view name) const {
+  return find_arg(args_, name);
+}
+
+std::optional<double> Options::get_double(std::string_view name) const {
+  const auto v = find_arg(args_, name);
+  if (!v || v->empty()) return std::nullopt;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for --" + std::string(name) + ": " + *v);
+  }
+}
+
+std::optional<long> Options::get_long(std::string_view name) const {
+  const auto v = get_double(name);
+  if (!v) return std::nullopt;
+  return static_cast<long>(*v);
+}
+
+double Options::get_double_or(std::string_view name, double fallback) const {
+  return get_double(name).value_or(fallback);
+}
+
+long Options::get_long_or(std::string_view name, long fallback) const {
+  return get_long(name).value_or(fallback);
+}
+
+bool fast_mode(const Options& options) {
+  if (options.has_flag("fast")) return true;
+  const char* env = std::getenv("ISSA_FAST");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+std::size_t bench_mc_iterations(const Options& options) {
+  if (const auto mc = options.get_long("mc"); mc && *mc > 0) return static_cast<std::size_t>(*mc);
+  return fast_mode(options) ? 60u : 400u;
+}
+
+}  // namespace issa::util

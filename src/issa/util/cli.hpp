@@ -1,0 +1,39 @@
+// Tiny command-line/environment option helpers shared by bench and example
+// binaries.  Supports `--key=value` and `--flag` forms plus environment
+// fallbacks (ISSA_FAST=1 shrinks Monte-Carlo counts for smoke runs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace issa::util {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  /// True when `--name` or `--name=anything-truthy` was passed.
+  bool has_flag(std::string_view name) const;
+
+  std::optional<std::string> get_string(std::string_view name) const;
+  std::optional<double> get_double(std::string_view name) const;
+  std::optional<long> get_long(std::string_view name) const;
+
+  double get_double_or(std::string_view name, double fallback) const;
+  long get_long_or(std::string_view name, long fallback) const;
+
+ private:
+  std::string args_;  // flattened "--k=v\n--flag\n" list for lookup
+};
+
+/// True when the ISSA_FAST environment variable is set to a non-empty,
+/// non-"0" value, or --fast was passed.  Benches use this to shrink
+/// Monte-Carlo iteration counts for quick smoke runs.
+bool fast_mode(const Options& options);
+
+/// Monte-Carlo iteration count used by benches: the paper's 400 by default,
+/// overridable with --mc=N, shrunk to 60 in fast mode.
+std::size_t bench_mc_iterations(const Options& options);
+
+}  // namespace issa::util

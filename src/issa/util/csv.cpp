@@ -1,0 +1,50 @@
+#include "issa/util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace issa::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : out_(path), column_count_(columns.size()), path_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns.empty()) throw std::invalid_argument("CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  if (values.size() != column_count_) throw std::invalid_argument("CsvWriter: row width mismatch");
+  std::ostringstream line;
+  line.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& values) {
+  if (values.size() != column_count_) throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace issa::util

@@ -1,0 +1,33 @@
+// CSV export for waveforms and figure series, so the bench output can be
+// re-plotted outside this repository.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace issa::util {
+
+/// Writes rows of doubles under a header line.  Throws std::runtime_error on
+/// I/O failure so callers never silently drop results.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  void add_row(const std::vector<double>& values);
+  void add_row(const std::vector<std::string>& values);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+ private:
+  std::ofstream out_;
+  std::size_t column_count_;
+  std::string path_;
+};
+
+}  // namespace issa::util

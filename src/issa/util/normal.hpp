@@ -1,0 +1,21 @@
+// Standard normal CDF and quantile, used by the offset-voltage-spec solver
+// (paper Eq. 3).  The quantile must stay accurate out to ~6.5 sigma because
+// the paper's failure-rate target of 1e-9 corresponds to a 6.1-sigma window.
+#pragma once
+
+namespace issa::util {
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x) noexcept;
+
+/// Upper tail Q(x) = 1 - Phi(x), computed without cancellation for large x.
+double normal_sf(double x) noexcept;
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation with
+/// one Halley refinement step; |relative error| < 1e-13 over (0, 1)).
+double normal_quantile(double p);
+
+/// Standard normal probability density function.
+double normal_pdf(double x) noexcept;
+
+}  // namespace issa::util

@@ -1,0 +1,76 @@
+#include "issa/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace issa::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers, std::vector<Align> alignment)
+    : headers_(std::move(headers)), alignment_(std::move(alignment)) {
+  if (headers_.empty()) throw std::invalid_argument("AsciiTable: no headers");
+  if (alignment_.empty()) {
+    alignment_.assign(headers_.size(), Align::kRight);
+    alignment_.front() = Align::kLeft;
+  }
+  if (alignment_.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable: alignment/header size mismatch");
+  }
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      os << ' ';
+      if (alignment_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << row[c];
+      if (alignment_[c] == Align::kLeft) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AsciiTable& table) {
+  table.print(os);
+  return os;
+}
+
+}  // namespace issa::util

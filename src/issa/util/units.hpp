@@ -1,0 +1,57 @@
+// Physical constants and unit helpers used throughout the simulator.
+//
+// All internal quantities are SI: volts, amperes, seconds, farads, kelvin.
+// The helpers below exist so that call sites can write `25.0_mV` style values
+// without sprinkling 1e-3 factors around.
+#pragma once
+
+namespace issa::util {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// 0 degrees Celsius in kelvin.
+inline constexpr double kZeroCelsiusInKelvin = 273.15;
+
+/// Reference temperature for device cards and BTI time constants [K] (27 C).
+inline constexpr double kReferenceTemperatureK = 300.15;
+
+/// Converts a temperature in degrees Celsius to kelvin.
+constexpr double celsius_to_kelvin(double celsius) noexcept {
+  return celsius + kZeroCelsiusInKelvin;
+}
+
+/// Thermal voltage kT/q at the given temperature [V].
+constexpr double thermal_voltage(double temperature_k) noexcept {
+  return kBoltzmann * temperature_k / kElementaryCharge;
+}
+
+namespace literals {
+
+constexpr double operator""_mV(long double v) noexcept { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_V(long double v) noexcept { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) noexcept { return static_cast<double>(v); }
+constexpr double operator""_ps(long double v) noexcept { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ps(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_ns(long double v) noexcept { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_fF(long double v) noexcept { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_fF(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_um(long double v) noexcept { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_um(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) noexcept { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nm(unsigned long long v) noexcept { return static_cast<double>(v) * 1e-9; }
+
+}  // namespace literals
+
+/// Converts volts to millivolts (for reporting).
+constexpr double to_mV(double volts) noexcept { return volts * 1e3; }
+
+/// Converts seconds to picoseconds (for reporting).
+constexpr double to_ps(double seconds) noexcept { return seconds * 1e12; }
+
+}  // namespace issa::util

@@ -1,0 +1,45 @@
+#include "issa/variation/mismatch.hpp"
+
+#include <cmath>
+
+#include "issa/util/rng.hpp"
+
+namespace issa::variation {
+
+MismatchParams default_mismatch() { return MismatchParams{}; }
+
+double vth_mismatch_sigma(const MismatchParams& params, const device::MosInstance& inst) {
+  const double avt =
+      inst.type == device::MosType::kNmos ? params.avt_nmos : params.avt_pmos;
+  const double area = inst.width() * inst.card.length;
+  return avt / std::sqrt(area);
+}
+
+std::uint64_t device_stream_id(std::string_view name) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+double sample_vth_shift(const MismatchParams& params, const device::MosInstance& inst,
+                        std::string_view device_name, std::uint64_t master_seed,
+                        std::uint64_t sample_index) {
+  util::Xoshiro256 rng(
+      util::derive_seed(master_seed, sample_index, device_stream_id(device_name)));
+  return rng.normal(0.0, vth_mismatch_sigma(params, inst));
+}
+
+void apply_process_variation(circuit::Netlist& netlist, const MismatchParams& params,
+                             std::uint64_t master_seed, std::uint64_t sample_index) {
+  const std::size_t count = netlist.mosfets().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& m = netlist.mosfet(i);
+    m.inst.delta_vth +=
+        sample_vth_shift(params, m.inst, m.name, master_seed, sample_index);
+  }
+}
+
+}  // namespace issa::variation

@@ -1,0 +1,47 @@
+// Time-zero variability: local process variation of MOSFET thresholds.
+//
+// Pelgrom's law: sigma(dVth) = A_VT / sqrt(W * L).  Every transistor in a
+// netlist receives an independent normal threshold shift whose stream is a
+// pure function of (master seed, Monte-Carlo sample index, device name), so
+// results are identical regardless of thread count and each device keeps its
+// identity across re-simulations of the same sample.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "issa/circuit/netlist.hpp"
+#include "issa/device/mos_params.hpp"
+
+namespace issa::variation {
+
+struct MismatchParams {
+  /// Pelgrom threshold-matching coefficient for NMOS devices [V * m].
+  double avt_nmos = 1.98e-9;  // 1.98 mV*um
+  /// Pelgrom coefficient for PMOS devices [V * m].
+  double avt_pmos = 2.22e-9;  // 2.22 mV*um
+};
+
+/// Calibrated default (DESIGN.md section 5: reproduces the paper's t = 0
+/// offset sigma of ~14.8 mV with the Fig. 1 device sizing).
+MismatchParams default_mismatch();
+
+/// Standard deviation of the threshold shift for one device instance [V].
+double vth_mismatch_sigma(const MismatchParams& params, const device::MosInstance& inst);
+
+/// Stable 64-bit hash of a device name (FNV-1a), used as the per-device
+/// stream index.
+std::uint64_t device_stream_id(std::string_view name) noexcept;
+
+/// Draws the threshold shift for one named device in one Monte-Carlo sample.
+double sample_vth_shift(const MismatchParams& params, const device::MosInstance& inst,
+                        std::string_view device_name, std::uint64_t master_seed,
+                        std::uint64_t sample_index);
+
+/// Applies mismatch to every MOSFET in the netlist by *adding* to each
+/// device's delta_vth (call Netlist::clear_vth_shifts() first when reusing a
+/// netlist across samples).
+void apply_process_variation(circuit::Netlist& netlist, const MismatchParams& params,
+                             std::uint64_t master_seed, std::uint64_t sample_index);
+
+}  // namespace issa::variation

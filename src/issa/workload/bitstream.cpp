@@ -1,0 +1,34 @@
+#include "issa/workload/bitstream.hpp"
+
+#include "issa/util/rng.hpp"
+
+namespace issa::workload {
+
+std::vector<bool> generate_read_stream(const Workload& workload, std::size_t count,
+                                       std::uint64_t seed) {
+  std::vector<bool> bits(count);
+  switch (workload.sequence) {
+    case ReadSequence::kAllZeros:
+      return bits;  // all false
+    case ReadSequence::kAllOnes:
+      bits.assign(count, true);
+      return bits;
+    case ReadSequence::kBalanced: {
+      util::Xoshiro256 rng(seed);
+      for (std::size_t i = 0; i < count; ++i) bits[i] = rng.bernoulli(0.5);
+      return bits;
+    }
+  }
+  return bits;
+}
+
+std::vector<bool> adversarial_block_stream(std::size_t count, std::size_t period) {
+  std::vector<bool> bits(count);
+  if (period == 0) return bits;
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i] = ((i / period) % 2) == 1;
+  }
+  return bits;
+}
+
+}  // namespace issa::workload

@@ -1,0 +1,24 @@
+// Concrete read-value streams for a workload, used by the control-logic
+// integration tests and examples ("random input pattern" assumption of the
+// paper's Sec. IV-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "issa/workload/workload.hpp"
+
+namespace issa::workload {
+
+/// Generates `count` read values whose 1-fraction follows the workload's
+/// read sequence (deterministic in `seed`).  kBalanced draws i.i.d. fair
+/// bits; kAllZeros / kAllOnes are constant streams.
+std::vector<bool> generate_read_stream(const Workload& workload, std::size_t count,
+                                       std::uint64_t seed);
+
+/// Worst-case stream for a switching period: alternates blocks of zeros and
+/// ones in lockstep with `period` so that a naive switcher sees maximally
+/// correlated input.  Used by the switching-period ablation bench.
+std::vector<bool> adversarial_block_stream(std::size_t count, std::size_t period);
+
+}  // namespace issa::workload

@@ -1,0 +1,37 @@
+// Canonical transistor names shared between the sense-amplifier netlist
+// builders (issa/sa) and the workload stress mapping (issa/workload).
+// Naming follows Fig. 1 / Fig. 2 of the paper.
+#pragma once
+
+#include <string_view>
+
+namespace issa::workload::names {
+
+// Cross-coupled latch core (both NSSA and ISSA).
+inline constexpr std::string_view kMdown = "Mdown";        // NMOS, gate = SBar
+inline constexpr std::string_view kMdownBar = "MdownBar";  // NMOS, gate = S
+inline constexpr std::string_view kMup = "Mup";            // PMOS, gate = SBar
+inline constexpr std::string_view kMupBar = "MupBar";      // PMOS, gate = S
+
+// Enable devices.
+inline constexpr std::string_view kMtop = "Mtop";        // PMOS header, gate = SAenableBar
+inline constexpr std::string_view kMbottom = "Mbottom";  // NMOS footer, gate = SAenable
+
+// NSSA pass transistors (PMOS, active-low SAenable).
+inline constexpr std::string_view kMpass = "Mpass";        // BL    -> S
+inline constexpr std::string_view kMpassBar = "MpassBar";  // BLBar -> SBar
+
+// ISSA pass transistors (Fig. 2): M1/M2 straight pair (SAenableA),
+// M3/M4 switched pair (SAenableB).
+inline constexpr std::string_view kM1 = "M1";  // BL    -> S     (gate SAenableA)
+inline constexpr std::string_view kM2 = "M2";  // BLBar -> SBar  (gate SAenableA)
+inline constexpr std::string_view kM3 = "M3";  // BLBar -> S     (gate SAenableB)
+inline constexpr std::string_view kM4 = "M4";  // BL    -> SBar  (gate SAenableB)
+
+// Output inverters: named by the internal node driving their gate.
+inline constexpr std::string_view kMoutN = "MoutN";        // NMOS, gate = SBar, drives Out
+inline constexpr std::string_view kMoutP = "MoutP";        // PMOS, gate = SBar, drives Out
+inline constexpr std::string_view kMoutNBar = "MoutNBar";  // NMOS, gate = S, drives OutBar
+inline constexpr std::string_view kMoutPBar = "MoutPBar";  // PMOS, gate = S, drives OutBar
+
+}  // namespace issa::workload::names

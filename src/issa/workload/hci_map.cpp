@@ -1,0 +1,55 @@
+#include "issa/workload/hci_map.hpp"
+
+#include <stdexcept>
+
+#include "issa/workload/device_names.hpp"
+
+namespace issa::workload {
+
+std::unordered_map<std::string, double> sa_toggles_per_read(bool issa_variant) {
+  std::unordered_map<std::string, double> t;
+  // Cross-coupled core: internal nodes swing rail to rail once per read.
+  t[std::string(names::kMdown)] = 1.0;
+  t[std::string(names::kMdownBar)] = 1.0;
+  t[std::string(names::kMup)] = 1.0;
+  t[std::string(names::kMupBar)] = 1.0;
+  // Enable devices conduct the regeneration surge every read.
+  t[std::string(names::kMtop)] = 1.0;
+  t[std::string(names::kMbottom)] = 1.0;
+  // Output inverters flip only when the read value differs from the last
+  // (~1/2 for random data).
+  t[std::string(names::kMoutN)] = 0.5;
+  t[std::string(names::kMoutP)] = 0.5;
+  t[std::string(names::kMoutNBar)] = 0.5;
+  t[std::string(names::kMoutPBar)] = 0.5;
+  if (issa_variant) {
+    // Two on/off transitions per read, but each pair is selected for only
+    // half the reads.
+    for (const auto name : {names::kM1, names::kM2, names::kM3, names::kM4}) {
+      t[std::string(name)] = 1.0;
+    }
+  } else {
+    t[std::string(names::kMpass)] = 2.0;
+    t[std::string(names::kMpassBar)] = 2.0;
+  }
+  return t;
+}
+
+void apply_hci_aging(circuit::Netlist& netlist, const aging::HciParams& params,
+                     const std::unordered_map<std::string, double>& toggles_per_read,
+                     const Workload& workload, double read_clock_hz, double time_s, double vdd,
+                     double temperature_k) {
+  if (read_clock_hz < 0.0 || time_s < 0.0) {
+    throw std::invalid_argument("apply_hci_aging: negative rate or time");
+  }
+  const double reads = workload.activation_rate * read_clock_hz * time_s;
+  const std::size_t count = netlist.mosfets().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& m = netlist.mosfet(i);
+    const auto it = toggles_per_read.find(m.name);
+    if (it == toggles_per_read.end()) continue;
+    m.inst.delta_vth += aging::hci_shift(params, it->second * reads, vdd, temperature_k);
+  }
+}
+
+}  // namespace issa::workload

@@ -1,0 +1,29 @@
+// Workload-to-HCI mapping for the sense-amplifier devices: how often each
+// transistor switches per read, and application of the HCI model on top of
+// a netlist's accumulated threshold shifts.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "issa/aging/hci.hpp"
+#include "issa/circuit/netlist.hpp"
+#include "issa/workload/workload.hpp"
+
+namespace issa::workload {
+
+/// Per-device toggle counts per *read operation* for the latch-type SA
+/// (NSSA or ISSA device names).  The cross-coupled core swings once per read
+/// (precharge -> decision); output inverters toggle only when the read value
+/// changes (~0.5 for random data); pass and enable devices switch twice per
+/// read (on/off); each ISSA pass pair is active for half the reads.
+std::unordered_map<std::string, double> sa_toggles_per_read(bool issa_variant);
+
+/// Applies HCI aging additively: each mapped device receives hci_shift() for
+///   toggles = toggles_per_read * activation_rate * read_clock_hz * time_s.
+void apply_hci_aging(circuit::Netlist& netlist, const aging::HciParams& params,
+                     const std::unordered_map<std::string, double>& toggles_per_read,
+                     const Workload& workload, double read_clock_hz, double time_s, double vdd,
+                     double temperature_k);
+
+}  // namespace issa::workload

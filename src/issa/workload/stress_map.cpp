@@ -1,0 +1,106 @@
+#include "issa/workload/stress_map.hpp"
+
+#include <string>
+
+#include "issa/workload/device_names.hpp"
+
+namespace issa::workload {
+
+using aging::StressPhase;
+using aging::StressProfile;
+
+PhaseWeights phase_weights(double activation_rate, double zero_fraction) {
+  PhaseWeights w;
+  const double amp = activation_rate * (1.0 - kTrackFraction);
+  w.idle_like = (1.0 - activation_rate) + activation_rate * kTrackFraction;
+  w.amp_read0 = amp * zero_fraction;
+  w.amp_read1 = amp * (1.0 - zero_fraction);
+  return w;
+}
+
+StressProfile profile_of(const PhaseWeights& w, double v_idle, double v_read0, double v_read1) {
+  std::vector<StressPhase> phases;
+  phases.push_back({w.idle_like, v_idle});
+  phases.push_back({w.amp_read0, v_read0});
+  phases.push_back({w.amp_read1, v_read1});
+  StressProfile p(std::move(phases));
+  p.validate();
+  return p;
+}
+
+namespace {
+
+// Stress profiles of the latch core, enable devices, and output inverters.
+// These are identical for NSSA and ISSA once the *internal* zero fraction is
+// fixed; only the pass transistors differ between the two designs.
+void add_core_profiles(aging::DeviceStressMap& map, const PhaseWeights& w, double vdd) {
+  using namespace names;
+  // During idle/track the internal nodes sit equalized near Vdd/2
+  // (precharge-equalize discipline), so every core gate sees only a
+  // half-supply bias; with the exponential oxide-field acceleration this
+  // contributes negligibly, which is what gives the paper its strong
+  // activation-rate dependence (80% vs 20% ~ (4x amp duty)^alpha).
+  // Amp read 0: S = 0, SBar = Vdd.  Amp read 1 mirrors.
+  // NMOS gate-high = stressed (PBTI); PMOS gate-low = stressed (NBTI).
+  const double half = 0.5 * vdd;
+  map[std::string(kMdown)] = profile_of(w, half, vdd, 0.0);      // NMOS, gate SBar
+  map[std::string(kMdownBar)] = profile_of(w, half, 0.0, vdd);   // NMOS, gate S
+  map[std::string(kMup)] = profile_of(w, half, 0.0, vdd);        // PMOS, gate SBar
+  map[std::string(kMupBar)] = profile_of(w, half, vdd, 0.0);     // PMOS, gate S
+
+  // Mtop (PMOS, gate SAenableBar) / Mbottom (NMOS, gate SAenable): stressed
+  // whenever the latch is firing, relaxed otherwise.
+  map[std::string(kMtop)] = profile_of(w, 0.0, vdd, vdd);
+  map[std::string(kMbottom)] = profile_of(w, 0.0, vdd, vdd);
+
+  // Output inverters: gate = SBar drives Out; gate = S drives OutBar.
+  map[std::string(kMoutN)] = profile_of(w, half, vdd, 0.0);      // NMOS, gate SBar
+  map[std::string(kMoutP)] = profile_of(w, half, 0.0, vdd);      // PMOS, gate SBar
+  map[std::string(kMoutNBar)] = profile_of(w, half, 0.0, vdd);   // NMOS, gate S
+  map[std::string(kMoutPBar)] = profile_of(w, half, vdd, 0.0);   // PMOS, gate S
+}
+
+}  // namespace
+
+aging::DeviceStressMap nssa_stress_map(const Workload& workload, double vdd) {
+  const PhaseWeights w = phase_weights(workload.activation_rate, workload.zero_fraction());
+  aging::DeviceStressMap map;
+  add_core_profiles(map, w, vdd);
+  // NSSA pass transistors (PMOS, gate = SAenable): gate is low during idle
+  // and tracking against precharged-high bitlines -> NBTI stress there; high
+  // during amplification -> relaxed.
+  map[std::string(names::kMpass)] = profile_of(w, vdd, 0.0, 0.0);
+  map[std::string(names::kMpassBar)] = profile_of(w, vdd, 0.0, 0.0);
+  return map;
+}
+
+aging::DeviceStressMap issa_stress_map_with_internal_balance(const Workload& workload, double vdd,
+                                                             double internal_zero_fraction) {
+  const PhaseWeights w = phase_weights(workload.activation_rate, internal_zero_fraction);
+  aging::DeviceStressMap map;
+  add_core_profiles(map, w, vdd);
+
+  // Pass transistors: the straight pair (M1/M2, gate SAenableA) is enabled
+  // while Switch = 0, i.e. half the lifetime; the crossed pair (M3/M4) the
+  // other half.  While its pair is disabled a PMOS pass gate is pinned at
+  // Vdd -> fully relaxed; while enabled it behaves like the NSSA pass gate
+  // (gate low against precharged-high bitlines during idle/track, relaxed
+  // during amplification).
+  StressProfile pass_active = profile_of(w, vdd, 0.0, 0.0);
+  StressProfile pass_half;
+  pass_half.append(pass_active, 0.5);
+  pass_half.append(StressProfile::duty_cycle(0.0, 0.0), 0.5);
+  pass_half.validate();
+  for (const auto name : {names::kM1, names::kM2, names::kM3, names::kM4}) {
+    map[std::string(name)] = pass_half;
+  }
+  return map;
+}
+
+aging::DeviceStressMap issa_stress_map(const Workload& workload, double vdd) {
+  // The counter swaps inputs every 2^(N-1) reads, so for any stationary
+  // external sequence the internal node statistics converge to 50/50.
+  return issa_stress_map_with_internal_balance(workload, vdd, 0.5);
+}
+
+}  // namespace issa::workload

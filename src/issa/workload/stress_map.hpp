@@ -1,0 +1,58 @@
+// Maps a workload onto per-transistor BTI stress profiles (the analysis of
+// paper Sec. III: which devices stress under which read phases).
+//
+// Lifetime phase decomposition for activation rate a and zero-read fraction z
+// (kTrackFraction of each read cycle is bitline tracking, during which the
+// internal nodes still sit near Vdd like the precharged idle state):
+//
+//   idle-like:  (1 - a) + a * kTrackFraction      S = SBar = Vdd
+//   amp read 0: a * (1 - kTrackFraction) * z      S = 0,   SBar = Vdd
+//   amp read 1: a * (1 - kTrackFraction) * (1-z)  S = Vdd, SBar = 0
+//
+// Gate-stress rules per phase (stress magnitude = Vdd):
+//   NMOS stressed when its gate node is high (PBTI);
+//   PMOS stressed when its gate node is low while its source is at Vdd (NBTI).
+//
+// The ISSA's control logic swaps the bitline connection every 2^(N-1) reads,
+// so the *internal* zero fraction becomes 1/2 regardless of the external
+// sequence; only the pass-transistor pairs see the Switch-dependent duty.
+#pragma once
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/workload/workload.hpp"
+
+namespace issa::workload {
+
+/// Fraction of a read cycle spent tracking the bitlines before amplification.
+inline constexpr double kTrackFraction = 0.5;
+
+/// Lifetime shares of the three canonical phases (see file comment).
+struct PhaseWeights {
+  double idle_like = 0.0;
+  double amp_read0 = 0.0;
+  double amp_read1 = 0.0;
+};
+
+/// Computes the phase shares for an activation rate and zero-read fraction.
+PhaseWeights phase_weights(double activation_rate, double zero_fraction);
+
+/// Builds a three-phase stress profile from per-phase gate-stress voltages
+/// (0 = relaxed during that phase).
+aging::StressProfile profile_of(const PhaseWeights& weights, double v_idle, double v_read0,
+                                double v_read1);
+
+/// Stress profiles for every transistor of the standard (non-switching) SA.
+aging::DeviceStressMap nssa_stress_map(const Workload& workload, double vdd);
+
+/// Stress profiles for every transistor of the input-switching SA.  The
+/// cross-coupled core sees the balanced internal workload; M1..M4 split the
+/// pass-transistor duty according to the Switch signal's 50% duty cycle.
+aging::DeviceStressMap issa_stress_map(const Workload& workload, double vdd);
+
+/// ISSA stress map with an explicit internal zero-read fraction, used by the
+/// switching-period ablation (a finite counter leaves a residual imbalance
+/// when the external stream is adversarial).
+aging::DeviceStressMap issa_stress_map_with_internal_balance(const Workload& workload, double vdd,
+                                                             double internal_zero_fraction);
+
+}  // namespace issa::workload

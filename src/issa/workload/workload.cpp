@@ -1,0 +1,68 @@
+#include "issa/workload/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace issa::workload {
+
+double Workload::one_fraction() const noexcept {
+  switch (sequence) {
+    case ReadSequence::kBalanced: return 0.5;
+    case ReadSequence::kAllZeros: return 0.0;
+    case ReadSequence::kAllOnes: return 1.0;
+  }
+  return 0.5;
+}
+
+std::string to_string(ReadSequence s) {
+  switch (s) {
+    case ReadSequence::kBalanced: return "r0r1";
+    case ReadSequence::kAllZeros: return "r0";
+    case ReadSequence::kAllOnes: return "r1";
+  }
+  return "?";
+}
+
+std::string Workload::name() const {
+  const int rate = static_cast<int>(std::lround(activation_rate * 100.0));
+  return std::to_string(rate) + to_string(sequence);
+}
+
+Workload workload_from_name(std::string_view name) {
+  // Split the leading integer (activation %) from the sequence suffix.
+  std::size_t i = 0;
+  while (i < name.size() && name[i] >= '0' && name[i] <= '9') ++i;
+  if (i == 0 || i == name.size()) {
+    throw std::invalid_argument("workload_from_name: bad name '" + std::string(name) + "'");
+  }
+  const int rate = std::stoi(std::string(name.substr(0, i)));
+  if (rate <= 0 || rate > 100) {
+    throw std::invalid_argument("workload_from_name: activation rate out of range");
+  }
+  const std::string_view seq = name.substr(i);
+  Workload w;
+  w.activation_rate = rate / 100.0;
+  if (seq == "r0r1") {
+    w.sequence = ReadSequence::kBalanced;
+  } else if (seq == "r0") {
+    w.sequence = ReadSequence::kAllZeros;
+  } else if (seq == "r1") {
+    w.sequence = ReadSequence::kAllOnes;
+  } else {
+    throw std::invalid_argument("workload_from_name: bad sequence '" + std::string(seq) + "'");
+  }
+  return w;
+}
+
+std::vector<Workload> paper_workloads() {
+  return {
+      workload_from_name("80r0r1"), workload_from_name("80r0"), workload_from_name("80r1"),
+      workload_from_name("20r0r1"), workload_from_name("20r0"), workload_from_name("20r1"),
+  };
+}
+
+std::vector<Workload> paper_workloads_80() {
+  return {workload_from_name("80r0r1"), workload_from_name("80r0"), workload_from_name("80r1")};
+}
+
+}  // namespace issa::workload

@@ -1,0 +1,46 @@
+// The paper's workload taxonomy (Sec. IV-A).
+//
+// A workload is named <rate><sequence>, e.g. "80r0": the SA performs a read
+// during 80% of cycles (activation rate), and every read returns 0.  The six
+// evaluated workloads are {80, 20} x {r0r1, r0, r1}.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace issa::workload {
+
+enum class ReadSequence {
+  kBalanced,  ///< r0r1: half the reads are 0, half are 1
+  kAllZeros,  ///< r0: every read is 0
+  kAllOnes,   ///< r1: every read is 1
+};
+
+struct Workload {
+  double activation_rate = 0.8;  ///< fraction of cycles that are reads
+  ReadSequence sequence = ReadSequence::kBalanced;
+
+  /// Fraction of reads returning 1.
+  double one_fraction() const noexcept;
+  /// Fraction of reads returning 0.
+  double zero_fraction() const noexcept { return 1.0 - one_fraction(); }
+
+  /// Paper-style name: "80r0r1", "20r1", ...
+  std::string name() const;
+
+  bool operator==(const Workload&) const = default;
+};
+
+/// Parses a paper-style name; throws std::invalid_argument on bad input.
+Workload workload_from_name(std::string_view name);
+
+/// The six workloads of the paper's evaluation, in table order.
+std::vector<Workload> paper_workloads();
+
+/// The three 80%-rate workloads (used for the voltage/temperature tables).
+std::vector<Workload> paper_workloads_80();
+
+std::string to_string(ReadSequence s);
+
+}  // namespace issa::workload

@@ -1,0 +1,118 @@
+#include "issa/aging/hci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/sa/builder.hpp"
+#include "issa/sa/measure.hpp"
+#include "issa/workload/hci_map.hpp"
+#include "issa/workload/stress_map.hpp"
+
+namespace issa::aging {
+namespace {
+
+constexpr double kT25 = 298.15;
+
+TEST(Hci, ZeroTogglesZeroShift) {
+  EXPECT_DOUBLE_EQ(hci_shift(default_hci(), 0.0, 1.0, kT25), 0.0);
+}
+
+TEST(Hci, NegativeTogglesThrow) {
+  EXPECT_THROW(hci_shift(default_hci(), -1.0, 1.0, kT25), std::invalid_argument);
+}
+
+TEST(Hci, PowerLawInToggleCount) {
+  const HciParams p = default_hci();
+  const double s1 = hci_shift(p, 1e12, 1.0, kT25);
+  const double s2 = hci_shift(p, 1e14, 1.0, kT25);
+  EXPECT_NEAR(std::log(s2 / s1) / std::log(100.0), p.exponent, 1e-9);
+}
+
+TEST(Hci, SupplyAccelerates) {
+  const HciParams p = default_hci();
+  EXPECT_GT(hci_shift(p, 1e14, 1.1, kT25), hci_shift(p, 1e14, 1.0, kT25));
+  EXPECT_LT(hci_shift(p, 1e14, 0.9, kT25), hci_shift(p, 1e14, 1.0, kT25));
+}
+
+TEST(Hci, TemperatureMildlyAccelerates) {
+  const HciParams p = default_hci();
+  const double hot = hci_shift(p, 1e14, 1.0, 398.15);
+  const double cold = hci_shift(p, 1e14, 1.0, kT25);
+  EXPECT_GT(hot, cold);
+  EXPECT_LT(hot / cold, 2.0);  // much weaker than BTI's thermal activation
+}
+
+TEST(Hci, LifetimeShiftIsSubordinateToBti) {
+  // The design decision the paper makes (model BTI only) quantified: a full
+  // read-heavy lifetime of HCI costs a few mV, versus ~18 mV of BTI shift.
+  const HciParams p = default_hci();
+  const double toggles = 0.8 * 1e9 * 1e8;  // activation x clock x lifetime
+  const double hci = hci_shift(p, toggles, 1.0, kT25);
+  EXPECT_GT(hci, 0.5e-3);
+  EXPECT_LT(hci, 6e-3);
+
+  device::MosInstance nmos;
+  nmos.card = device::ptm45_nmos();
+  nmos.type = device::MosType::kNmos;
+  nmos.w_over_l = 17.8;
+  const double bti = expected_bti_shift(default_bti(), nmos,
+                                        StressProfile::duty_cycle(0.4, 1.0), 1e8, kT25);
+  EXPECT_LT(hci, 0.35 * bti);
+}
+
+TEST(HciMap, CoversEveryNetlistDevice) {
+  const auto nssa_map = workload::sa_toggles_per_read(false);
+  auto nssa = sa::build_nssa(sa::nominal_config());
+  for (const auto& m : nssa.netlist().mosfets()) {
+    EXPECT_EQ(nssa_map.count(m.name), 1u) << m.name;
+  }
+  const auto issa_map = workload::sa_toggles_per_read(true);
+  auto issa = sa::build_issa(sa::nominal_config());
+  for (const auto& m : issa.netlist().mosfets()) {
+    EXPECT_EQ(issa_map.count(m.name), 1u) << m.name;
+  }
+}
+
+TEST(HciMap, ApplyAddsSymmetricShift) {
+  auto c = sa::build_nssa(sa::nominal_config());
+  const auto map = workload::sa_toggles_per_read(false);
+  workload::apply_hci_aging(c.netlist(), default_hci(), map,
+                            workload::workload_from_name("80r0r1"), 1e9, 1e8, 1.0, kT25);
+  const double mdown = c.netlist().find_mosfet("Mdown").inst.delta_vth;
+  const double mdownbar = c.netlist().find_mosfet("MdownBar").inst.delta_vth;
+  EXPECT_GT(mdown, 0.0);
+  EXPECT_DOUBLE_EQ(mdown, mdownbar);  // HCI is symmetric across the pair
+}
+
+TEST(HciMap, SymmetricHciBarelyMovesOffset) {
+  auto c = sa::build_nssa(sa::nominal_config());
+  workload::apply_hci_aging(c.netlist(), default_hci(), workload::sa_toggles_per_read(false),
+                            workload::workload_from_name("80r0r1"), 1e9, 1e8, 1.0, kT25);
+  EXPECT_LT(std::fabs(sa::measure_offset(c).offset), 2e-3);
+}
+
+TEST(HciMap, ActivationRateScalesDamage) {
+  auto heavy = sa::build_nssa(sa::nominal_config());
+  auto light = sa::build_nssa(sa::nominal_config());
+  const auto map = workload::sa_toggles_per_read(false);
+  workload::apply_hci_aging(heavy.netlist(), default_hci(), map,
+                            workload::workload_from_name("80r0"), 1e9, 1e8, 1.0, kT25);
+  workload::apply_hci_aging(light.netlist(), default_hci(), map,
+                            workload::workload_from_name("20r0"), 1e9, 1e8, 1.0, kT25);
+  EXPECT_GT(heavy.netlist().find_mosfet("Mdown").inst.delta_vth,
+            light.netlist().find_mosfet("Mdown").inst.delta_vth);
+}
+
+TEST(HciMap, InputValidation) {
+  auto c = sa::build_nssa(sa::nominal_config());
+  EXPECT_THROW(workload::apply_hci_aging(c.netlist(), default_hci(),
+                                         workload::sa_toggles_per_read(false),
+                                         workload::workload_from_name("80r0"), -1.0, 1e8, 1.0,
+                                         kT25),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace issa::aging

@@ -1,0 +1,81 @@
+#include "issa/analysis/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace issa::analysis {
+namespace {
+
+TEST(Spec, SigmaMultiplierIsSixPointOne) {
+  // Paper Sec. II-C: fr = 1e-9 leads to Voffset = 6.1 sigma for mu = 0.
+  EXPECT_NEAR(spec_sigma_multiplier(1e-9), 6.1, 0.02);
+}
+
+TEST(Spec, CenteredSpecIsMultiplierTimesSigma) {
+  const double sigma = 14.8e-3;
+  const double spec = offset_voltage_spec(0.0, sigma);
+  EXPECT_NEAR(spec, spec_sigma_multiplier(1e-9) * sigma, 1e-6);
+  // ... which reproduces the paper's 90.2 mV t=0 spec.
+  EXPECT_NEAR(spec * 1e3, 90.2, 0.8);
+}
+
+TEST(Spec, MeanShiftWidensSpec) {
+  const double sigma = 15e-3;
+  const double centered = offset_voltage_spec(0.0, sigma);
+  const double shifted = offset_voltage_spec(17.3e-3, sigma);
+  EXPECT_GT(shifted, centered);
+  // For a shift well inside the window, the widening approaches |mu|.
+  EXPECT_NEAR(shifted - centered, 17.3e-3, 2e-3);
+}
+
+TEST(Spec, SpecIsSymmetricInMu) {
+  const double sigma = 15e-3;
+  EXPECT_NEAR(offset_voltage_spec(10e-3, sigma), offset_voltage_spec(-10e-3, sigma), 1e-9);
+}
+
+TEST(Spec, ReproducesPaperTableIIRows) {
+  // NSSA 80r0 aged: mu = 17.3 mV, sigma = 15.7 mV -> spec 111.5 mV.
+  EXPECT_NEAR(offset_voltage_spec(17.3e-3, 15.7e-3) * 1e3, 111.5, 1.5);
+  // NSSA 80r0r1 aged: mu = -0.2, sigma = 16.2 -> 99.0 mV.
+  EXPECT_NEAR(offset_voltage_spec(-0.2e-3, 16.2e-3) * 1e3, 99.0, 1.0);
+  // Table IV 125C 80r0: mu = 79.1, sigma = 17.9 -> 186.5 mV.
+  EXPECT_NEAR(offset_voltage_spec(79.1e-3, 17.9e-3) * 1e3, 186.5, 2.0);
+}
+
+TEST(Spec, MonotoneInSigma) {
+  double prev = 0.0;
+  for (double sigma : {5e-3, 10e-3, 15e-3, 20e-3}) {
+    const double spec = offset_voltage_spec(5e-3, sigma);
+    EXPECT_GT(spec, prev);
+    prev = spec;
+  }
+}
+
+TEST(Spec, FailureRateRoundTrip) {
+  for (double fr : {1e-6, 1e-9, 1e-3}) {
+    const double spec = offset_voltage_spec(8e-3, 12e-3, fr);
+    EXPECT_NEAR(failure_rate_of_spec(8e-3, 12e-3, spec) / fr, 1.0, 1e-3) << fr;
+  }
+}
+
+TEST(Spec, LooserFailureRateShrinksSpec) {
+  EXPECT_LT(offset_voltage_spec(0.0, 15e-3, 1e-3), offset_voltage_spec(0.0, 15e-3, 1e-9));
+}
+
+TEST(Spec, FailureRateEdgeCases) {
+  EXPECT_DOUBLE_EQ(failure_rate_of_spec(0.0, 1.0, -1.0), 1.0);
+  EXPECT_NEAR(failure_rate_of_spec(0.0, 1.0, 0.0), 1.0, 1e-12);
+}
+
+TEST(Spec, InputValidation) {
+  EXPECT_THROW(offset_voltage_spec(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(offset_voltage_spec(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(offset_voltage_spec(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(offset_voltage_spec(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(spec_sigma_multiplier(0.0), std::invalid_argument);
+  EXPECT_THROW(failure_rate_of_spec(0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace issa::analysis

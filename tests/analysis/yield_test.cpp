@@ -1,0 +1,102 @@
+#include "issa/analysis/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "issa/analysis/montecarlo.hpp"
+#include "issa/util/rng.hpp"
+
+namespace issa::analysis {
+namespace {
+
+TEST(Yield, FailureProbabilityMatchesSpecSolver) {
+  const double mu = 5e-3;
+  const double sigma = 15e-3;
+  const double spec = offset_voltage_spec(mu, sigma, 1e-9);
+  EXPECT_NEAR(sa_failure_probability(mu, sigma, spec) / 1e-9, 1.0, 1e-3);
+}
+
+TEST(Yield, WiderSwingHigherYield) {
+  double prev = 0.0;
+  for (double swing : {0.05, 0.07, 0.09, 0.12}) {
+    const double y = array_yield(0.0, 15e-3, swing, 1024);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+TEST(Yield, MoreSasLowerYield) {
+  const double swing = 0.06;
+  EXPECT_GT(array_yield(0.0, 15e-3, swing, 16), array_yield(0.0, 15e-3, swing, 4096));
+}
+
+TEST(Yield, TinyFailureProbabilitiesDoNotUnderflowYield) {
+  // 6.1 sigma, a million SAs: yield must still compute as ~(1 - 1e-9)^1e6.
+  const double y = array_yield(0.0, 15e-3, 6.1 * 15e-3, 1000000);
+  EXPECT_NEAR(y, std::exp(-1e6 * 1e-9), 1e-4);
+}
+
+TEST(Yield, RequiredSwingRoundTrip) {
+  const double mu = 10e-3;
+  const double sigma = 16e-3;
+  const std::size_t n = 2048;
+  const double target = 0.999;
+  const double swing = required_swing_for_yield(mu, sigma, n, target);
+  EXPECT_NEAR(array_yield(mu, sigma, swing, n), target, 1e-6);
+}
+
+TEST(Yield, RequiredSwingGrowsWithMeanShift) {
+  EXPECT_GT(required_swing_for_yield(40e-3, 15e-3, 1024, 0.999),
+            required_swing_for_yield(0.0, 15e-3, 1024, 0.999));
+}
+
+TEST(Yield, InputValidation) {
+  EXPECT_THROW(array_yield(0.0, 15e-3, 0.1, 0), std::invalid_argument);
+  EXPECT_THROW(required_swing_for_yield(0.0, 15e-3, 0, 0.9), std::invalid_argument);
+  EXPECT_THROW(required_swing_for_yield(0.0, 15e-3, 16, 1.5), std::invalid_argument);
+  EXPECT_THROW(empirical_failure_fraction({}, 0.1), std::invalid_argument);
+}
+
+TEST(Yield, EmpiricalFractionCounts) {
+  const std::vector<double> offsets = {-0.2, -0.05, 0.0, 0.05, 0.2};
+  EXPECT_DOUBLE_EQ(empirical_failure_fraction(offsets, 0.1), 0.4);
+  EXPECT_DOUBLE_EQ(empirical_failure_fraction(offsets, 0.3), 0.0);
+}
+
+TEST(Yield, NormalModelMatchesSyntheticSamplesAtRelaxedRate) {
+  // Draw a large synthetic normal population and compare the analytic
+  // failure probability against the empirical fraction at ~1% rates.
+  util::Xoshiro256 rng(7);
+  const double mu = 8e-3;
+  const double sigma = 15e-3;
+  std::vector<double> samples(200000);
+  for (auto& s : samples) s = rng.normal(mu, sigma);
+  const double swing = offset_voltage_spec(mu, sigma, 1e-2);
+  const double analytic = sa_failure_probability(mu, sigma, swing);
+  const double empirical = empirical_failure_fraction(samples, swing);
+  EXPECT_NEAR(empirical / analytic, 1.0, 0.1);
+}
+
+TEST(Yield, MeasuredOffsetsBehaveGaussian) {
+  // End-to-end sanity: the simulated offset population's empirical tail at a
+  // relaxed rate is consistent with the fitted normal (validates using
+  // N(mu, sigma) inside Eq. 3 for the simulated SA).
+  Condition c;
+  c.kind = sa::SenseAmpKind::kNssa;
+  c.config = sa::nominal_config();
+  c.workload = workload::workload_from_name("80r0r1");
+  McConfig mc;
+  mc.iterations = 60;
+  const OffsetDistribution dist = measure_offset_distribution(c, mc);
+  // ~10% two-sided rate -> expect ~6 of 60 outside; allow broad Poisson slack.
+  const double swing = offset_voltage_spec(dist.summary.mean, dist.summary.stddev, 0.10);
+  const double frac = empirical_failure_fraction(dist.offsets, swing);
+  EXPECT_GT(frac, 0.0);
+  EXPECT_LT(frac, 0.30);
+}
+
+}  // namespace
+}  // namespace issa::analysis

@@ -1,0 +1,102 @@
+// Property tests: the solver must converge for every Monte-Carlo sample the
+// experiment grid can throw at it — mismatch plus heavy aging, all corners,
+// all SA kinds.  Historical failure modes pinned here: Newton period-2
+// orbits on floating nodes, gmin-floor oscillation, stale-state divergence
+// at extreme threshold shifts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "issa/analysis/montecarlo.hpp"
+#include "issa/sa/measure.hpp"
+
+namespace issa::circuit {
+namespace {
+
+struct Corner {
+  double vdd_scale;
+  double temperature_c;
+};
+
+class ConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<sa::SenseAmpKind, Corner>> {};
+
+TEST_P(ConvergenceTest, AgedSamplesMeasureWithoutThrowing) {
+  const auto [kind, corner] = GetParam();
+  analysis::Condition condition;
+  condition.kind = kind;
+  condition.config = sa::nominal_config();
+  condition.config.vdd *= corner.vdd_scale;
+  condition.config.temperature_c = corner.temperature_c;
+  condition.workload = workload::workload_from_name("80r0");
+  condition.stress_time_s = 1e8;
+
+  analysis::McConfig mc;
+  mc.iterations = 1;
+  mc.seed = 1234;
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto circuit = analysis::build_sample(condition, mc, i);
+    EXPECT_NO_THROW({
+      const auto r = sa::measure_offset(circuit);
+      (void)r;
+    }) << "sample " << i;
+    EXPECT_NO_THROW({ sa::measure_delay(circuit); }) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndCorners, ConvergenceTest,
+    ::testing::Combine(::testing::Values(sa::SenseAmpKind::kNssa, sa::SenseAmpKind::kIssa,
+                                         sa::SenseAmpKind::kDoubleTail,
+                                         sa::SenseAmpKind::kDoubleTailSwitching),
+                       ::testing::Values(Corner{1.0, 25.0}, Corner{0.9, 25.0}, Corner{1.1, 25.0},
+                                         Corner{1.0, 125.0})));
+
+TEST(ConvergenceEdgeCases, ExtremeThresholdShiftsStillSolve) {
+  // Far beyond any realistic aging: the solver must either converge or
+  // produce a saturated offset, never hang or diverge.
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  for (auto& m : const_cast<Netlist&>(circuit.netlist()).mosfets()) {
+    (void)m;
+  }
+  circuit.netlist().find_mosfet("Mdown").inst.delta_vth = 0.3;
+  circuit.netlist().find_mosfet("MupBar").inst.delta_vth = 0.3;
+  const auto r = sa::measure_offset(circuit);
+  EXPECT_TRUE(r.saturated || r.offset > 0.1);
+}
+
+TEST(ConvergenceEdgeCases, ZeroDifferentialIsMetastableButSolvable) {
+  // vin exactly 0 on a perfectly symmetric SA: the transient must still run
+  // (the decision can go either way; mismatch-free symmetry breaks on
+  // numerical noise, and the classifier only needs a sign).
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  EXPECT_NO_THROW(sa::run_sense(circuit, 0.0));
+}
+
+TEST(ConvergenceEdgeCases, SubthresholdSupplyStillConverges) {
+  // Far below nominal supply the SA barely works, but DC must converge.
+  sa::SenseAmpConfig cfg = sa::nominal_config();
+  cfg.vdd = 0.6;
+  auto circuit = sa::build_nssa(cfg);
+  circuit.set_input_differential(0.05);
+  Simulator sim(circuit.netlist(), cfg.temperature_k());
+  DcOptions opt;
+  opt.initial_guess = circuit.dc_guess(0.05);
+  EXPECT_NO_THROW(sim.solve_dc(opt));
+}
+
+TEST(ConvergenceEdgeCases, ColdAndHotExtremes) {
+  for (const double temp_c : {-40.0, 150.0}) {
+    sa::SenseAmpConfig cfg = sa::nominal_config();
+    cfg.temperature_c = temp_c;
+    auto circuit = sa::build_nssa(cfg);
+    EXPECT_NO_THROW({
+      const auto r = sa::run_sense(circuit, 0.1);
+      EXPECT_TRUE(r.read_one);
+    }) << temp_c;
+  }
+}
+
+}  // namespace
+}  // namespace issa::circuit

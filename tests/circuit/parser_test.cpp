@@ -1,0 +1,150 @@
+#include "issa/circuit/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "issa/circuit/simulator.hpp"
+
+namespace issa::circuit {
+namespace {
+
+TEST(SpiceNumber, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2e-9"), 2e-9);
+}
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5p"), 2.5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4u"), 4e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("6k"), 6e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7meg"), 7e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("8G"), 8e9);
+}
+
+TEST(SpiceNumber, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1K"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2MEG"), 2e6);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+  EXPECT_THROW(parse_spice_number(""), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1.5x"), std::invalid_argument);
+}
+
+TEST(Parser, ResistorDividerParsesAndSolves) {
+  const Netlist net = parse_netlist(R"(
+* a humble divider
+V1 vdd 0 DC 1.0
+R1 vdd mid 2k
+R2 mid gnd 1k
+.end
+)");
+  EXPECT_EQ(net.resistors().size(), 2u);
+  EXPECT_EQ(net.vsources().size(), 1u);
+  Simulator sim(net, 298.15);
+  const auto v = sim.solve_dc();
+  EXPECT_NEAR(v[static_cast<std::size_t>(net.find_node("mid"))], 1.0 / 3.0, 1e-6);
+}
+
+TEST(Parser, CapacitorAndSources) {
+  const Netlist net = parse_netlist(R"(
+Vstep in 0 STEP 0 1 10p 2p
+Vpwl aux 0 PWL 0 0 1n 0.5 2n 0.25
+Iload out 0 DC 1u
+C1 out 0 5f
+R1 in out 1k
+)");
+  EXPECT_EQ(net.capacitors().size(), 1u);
+  EXPECT_EQ(net.isources().size(), 1u);
+  EXPECT_DOUBLE_EQ(net.vsources()[0].wave.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(net.vsources()[0].wave.value(12e-12), 1.0);
+  EXPECT_DOUBLE_EQ(net.vsources()[1].wave.value(1e-9), 0.5);
+}
+
+TEST(Parser, MosfetInverterSolves) {
+  const Netlist net = parse_netlist(R"(
+.model nch NMOS
+.model pch PMOS
+Vdd vdd 0 DC 1.0
+Vin in 0 DC 0
+Mn out in 0 0 nch W/L=2.5
+Mp out in vdd vdd pch W/L=5 DVTH=0.01
+)");
+  EXPECT_EQ(net.mosfets().size(), 2u);
+  EXPECT_EQ(net.find_mosfet("Mn").inst.type, device::MosType::kNmos);
+  EXPECT_DOUBLE_EQ(net.find_mosfet("Mp").inst.delta_vth, 0.01);
+  Simulator sim(net, 298.15);
+  EXPECT_NEAR(sim.solve_dc()[static_cast<std::size_t>(net.find_node("out"))], 1.0, 1e-3);
+}
+
+TEST(Parser, MosfetTerminalOrderIsDgsb) {
+  const Netlist net = parse_netlist(R"(
+.model nch NMOS
+M1 nd ng ns nb nch W/L=1
+)");
+  const auto& m = net.find_mosfet("M1");
+  EXPECT_EQ(m.drain, net.find_node("nd"));
+  EXPECT_EQ(m.gate, net.find_node("ng"));
+  EXPECT_EQ(m.source, net.find_node("ns"));
+  EXPECT_EQ(m.bulk, net.find_node("nb"));
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const Netlist net = parse_netlist("* only comments\n\n* more\n");
+  EXPECT_EQ(net.node_count(), 1u);  // just ground
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("V1 a 0 DC 1.0\nR1 a 0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Parser, RejectsUnknownCards) {
+  EXPECT_THROW(parse_netlist("Q1 a b c 1"), ParseError);
+  EXPECT_THROW(parse_netlist("X1 a b"), ParseError);
+}
+
+TEST(Parser, RejectsUndeclaredModel) {
+  EXPECT_THROW(parse_netlist("M1 d g s b missing W/L=1"), ParseError);
+}
+
+TEST(Parser, RejectsMissingWl) {
+  EXPECT_THROW(parse_netlist(".model nch NMOS\nM1 d g s b nch"), ParseError);
+  EXPECT_THROW(parse_netlist(".model nch NMOS\nM1 d g s b nch DVTH=0.01"), ParseError);
+}
+
+TEST(Parser, RejectsBadSourceSpecs) {
+  EXPECT_THROW(parse_netlist("V1 a 0 DC"), ParseError);
+  EXPECT_THROW(parse_netlist("V1 a 0 STEP 0 1"), ParseError);
+  EXPECT_THROW(parse_netlist("V1 a 0 PWL 1"), ParseError);
+  EXPECT_THROW(parse_netlist("V1 a 0 SINE 1 2"), ParseError);
+}
+
+TEST(Parser, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/issa_parse_test.sp";
+  {
+    std::ofstream out(path);
+    out << "V1 a 0 DC 0.5\nR1 a 0 1k\n";
+  }
+  const Netlist net = parse_netlist_file(path);
+  EXPECT_EQ(net.resistors().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parse_netlist_file("/nonexistent/netlist.sp"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace issa::circuit

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/circuit/simulator.hpp"
+#include "issa/device/mos_params.hpp"
+
+namespace issa::circuit {
+namespace {
+
+constexpr double kT = 298.15;
+
+// RC low-pass driven by a voltage step: the canonical transient check.
+struct RcFixture {
+  Netlist net;
+  NodeId in = kGround;
+  NodeId out = kGround;
+  double r = 1000.0;
+  double c = 1e-12;  // tau = 1 ns
+
+  RcFixture() {
+    in = net.node("in");
+    out = net.node("out");
+    net.add_vsource("V", in, kGround, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+    net.add_resistor("R", in, out, r);
+    net.add_capacitor("C", out, kGround, c);
+  }
+};
+
+TEST(SimulatorTran, RcStepMatchesAnalyticTrapezoidal) {
+  RcFixture f;
+  Simulator sim(f.net, kT);
+  TransientOptions opt;
+  opt.tstop = 5e-9;
+  opt.dt = 10e-12;
+  opt.method = IntegrationMethod::kTrapezoidal;
+  const TransientResult tr = sim.run_transient(opt);
+  const double tau = f.r * f.c;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    const double expected = 1.0 - std::exp(-(t - 1e-12 / 2) / tau);
+    EXPECT_NEAR(tr.at(f.out, t), expected, 2e-3) << "t = " << t;
+  }
+}
+
+TEST(SimulatorTran, RcStepMatchesAnalyticBackwardEuler) {
+  RcFixture f;
+  Simulator sim(f.net, kT);
+  TransientOptions opt;
+  opt.tstop = 5e-9;
+  opt.dt = 5e-12;
+  opt.method = IntegrationMethod::kBackwardEuler;
+  const TransientResult tr = sim.run_transient(opt);
+  const double tau = f.r * f.c;
+  // BE is first order: looser tolerance.
+  for (double t : {1e-9, 2e-9, 4e-9}) {
+    const double expected = 1.0 - std::exp(-t / tau);
+    EXPECT_NEAR(tr.at(f.out, t), expected, 1e-2) << "t = " << t;
+  }
+}
+
+TEST(SimulatorTran, TrapezoidalConvergesSecondOrder) {
+  // Halving dt should shrink the error ~4x for trapezoidal integration.
+  auto error_at = [&](double dt) {
+    RcFixture f;
+    Simulator sim(f.net, kT);
+    TransientOptions opt;
+    opt.tstop = 2e-9;
+    opt.dt = dt;
+    opt.method = IntegrationMethod::kTrapezoidal;
+    const TransientResult tr = sim.run_transient(opt);
+    const double tau = f.r * f.c;
+    const double t = 1.5e-9;
+    return std::fabs(tr.at(f.out, t) - (1.0 - std::exp(-(t - 0.5e-12) / tau)));
+  };
+  const double e_coarse = error_at(80e-12);
+  const double e_fine = error_at(40e-12);
+  EXPECT_LT(e_fine, e_coarse * 0.45);
+}
+
+TEST(SimulatorTran, RcCrossingTime) {
+  RcFixture f;
+  Simulator sim(f.net, kT);
+  TransientOptions opt;
+  opt.tstop = 5e-9;
+  opt.dt = 5e-12;
+  const TransientResult tr = sim.run_transient(opt);
+  const auto t50 = tr.crossing_time(f.out, 0.5, true);
+  ASSERT_TRUE(t50.has_value());
+  // t50 = tau * ln 2.
+  EXPECT_NEAR(*t50, f.r * f.c * std::log(2.0), 20e-12);
+}
+
+TEST(SimulatorTran, InitialOverrideDischarges) {
+  // Start the capacitor at 1 V with the source at 0: pure RC decay.
+  Netlist net;
+  const NodeId out = net.node("out");
+  net.add_resistor("R", out, kGround, 1000.0);
+  net.add_capacitor("C", out, kGround, 1e-12);
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 3e-9;
+  opt.dt = 5e-12;
+  opt.initial_overrides = {{out, 1.0}};
+  const TransientResult tr = sim.run_transient(opt);
+  EXPECT_NEAR(tr.at(out, 1e-9), std::exp(-1.0), 5e-3);
+}
+
+TEST(SimulatorTran, OverridingGroundThrows) {
+  Netlist net;
+  net.add_resistor("R", net.node("a"), kGround, 1.0);
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 1e-12;
+  opt.dt = 1e-13;
+  opt.initial_overrides = {{kGround, 1.0}};
+  EXPECT_THROW(sim.run_transient(opt), std::invalid_argument);
+}
+
+TEST(SimulatorTran, RejectsBadOptions) {
+  Netlist net;
+  net.add_resistor("R", net.node("a"), kGround, 1.0);
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 0.0;
+  opt.dt = 1e-13;
+  EXPECT_THROW(sim.run_transient(opt), std::invalid_argument);
+  opt.tstop = 1e-12;
+  opt.dt = 0.0;
+  EXPECT_THROW(sim.run_transient(opt), std::invalid_argument);
+}
+
+TEST(SimulatorTran, CapacitorDividerStep) {
+  // Two series capacitors divide a fast step by the inverse-C ratio.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId mid = net.node("mid");
+  net.add_vsource("V", in, kGround, SourceWave::step(0.0, 1.0, 1e-12, 1e-12));
+  net.add_capacitor("C1", in, mid, 2e-15);
+  net.add_capacitor("C2", mid, kGround, 2e-15);
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 10e-12;
+  opt.dt = 0.05e-12;
+  const TransientResult tr = sim.run_transient(opt);
+  EXPECT_NEAR(tr.at(mid, 5e-12), 0.5, 0.02);
+}
+
+TEST(SimulatorTran, CmosInverterSwitches) {
+  Netlist net;
+  const NodeId vdd = net.node("vdd");
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add_vsource("Vdd", vdd, kGround, SourceWave::dc(1.0));
+  net.add_vsource("Vin", in, kGround, SourceWave::step(0.0, 1.0, 5e-12, 2e-12));
+  device::MosInstance mn;
+  mn.card = device::ptm45_nmos();
+  mn.type = device::MosType::kNmos;
+  mn.w_over_l = 2.5;
+  device::MosInstance mp;
+  mp.card = device::ptm45_pmos();
+  mp.type = device::MosType::kPmos;
+  mp.w_over_l = 5.0;
+  net.add_mosfet("MN", mn, in, out, kGround, kGround);
+  net.add_mosfet("MP", mp, in, out, vdd, vdd);
+  net.add_capacitor("CL", out, kGround, 2e-15);
+
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 40e-12;
+  opt.dt = 0.1e-12;
+  const TransientResult tr = sim.run_transient(opt);
+  EXPECT_NEAR(tr.at(out, 0.0), 1.0, 1e-2);     // input low -> output high
+  EXPECT_NEAR(tr.at(out, 39e-12), 0.0, 1e-2);  // input high -> output low
+  const auto fall = tr.crossing_time(out, 0.5, false);
+  ASSERT_TRUE(fall.has_value());
+  EXPECT_GT(*fall, 5e-12);
+  EXPECT_LT(*fall, 20e-12);
+}
+
+TEST(SimulatorTran, ChargeNeutralRingdownIsStable) {
+  // Trapezoidal integration must not blow up on a stiff RC chain.
+  Netlist net;
+  NodeId prev = net.node("n0");
+  net.add_vsource("V", prev, kGround, SourceWave::step(0.0, 1.0, 0.0, 1e-12));
+  for (int i = 1; i <= 5; ++i) {
+    const NodeId n = net.node("n" + std::to_string(i));
+    net.add_resistor("R" + std::to_string(i), prev, n, 100.0 * i);
+    net.add_capacitor("C" + std::to_string(i), n, kGround, 1e-15 * i);
+    prev = n;
+  }
+  Simulator sim(net, kT);
+  TransientOptions opt;
+  opt.tstop = 20e-12;
+  opt.dt = 0.2e-12;
+  const TransientResult tr = sim.run_transient(opt);
+  const double v_end = tr.node_wave(prev).back();
+  EXPECT_GT(v_end, 0.0);
+  EXPECT_LT(v_end, 1.01);
+}
+
+TEST(SimulatorTran, StepCountAndTimeAxis) {
+  RcFixture f;
+  Simulator sim(f.net, kT);
+  TransientOptions opt;
+  opt.tstop = 1e-9;
+  opt.dt = 1e-11;
+  const TransientResult tr = sim.run_transient(opt);
+  ASSERT_GE(tr.steps(), 100u);
+  EXPECT_DOUBLE_EQ(tr.time().front(), 0.0);
+  EXPECT_NEAR(tr.time().back(), 1e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace issa::circuit

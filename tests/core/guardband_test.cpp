@@ -1,0 +1,49 @@
+#include "issa/core/guardband.hpp"
+
+#include <gtest/gtest.h>
+
+namespace issa::core {
+namespace {
+
+analysis::McConfig tiny_mc() {
+  analysis::McConfig mc;
+  mc.iterations = 20;
+  mc.seed = 42;
+  return mc;
+}
+
+TEST(Guardband, ComparisonOrderingHolds) {
+  const GuardbandComparison cmp = compare_guardband_vs_mitigation(125.0, tiny_mc());
+  // Aged worst-case > mitigated aged > fresh (spec ordering the paper shows).
+  EXPECT_GT(cmp.nssa_aged_spec, cmp.issa_aged_spec);
+  EXPECT_GT(cmp.issa_aged_spec, 0.5 * cmp.nssa_fresh_spec);
+  EXPECT_GT(cmp.nssa_aged_spec, cmp.nssa_fresh_spec);
+}
+
+TEST(Guardband, MarginSavedIsSubstantialAtHotCorner) {
+  const GuardbandComparison cmp = compare_guardband_vs_mitigation(125.0, tiny_mc());
+  // The paper's ~40% spec reduction translates into most of the guardband.
+  EXPECT_GT(cmp.margin_saved_fraction(), 0.4);
+  EXPECT_LE(cmp.margin_saved_fraction(), 1.0);
+  EXPECT_GT(cmp.margin_saved(), 20e-3);  // tens of mV
+}
+
+TEST(Guardband, MitigatedMemoryIsFasterAtEndOfLife) {
+  const GuardbandComparison cmp = compare_guardband_vs_mitigation(125.0, tiny_mc());
+  EXPECT_GT(cmp.speedup(), 1.05);
+  // And the mitigated read time sits between fresh and guardbanded.
+  EXPECT_GT(cmp.issa_read_time, cmp.fresh_read_time * 0.95);
+  EXPECT_LT(cmp.issa_read_time, cmp.nssa_read_time);
+}
+
+TEST(Guardband, TimeToReachBudgetIsEarly) {
+  analysis::McConfig mc = tiny_mc();
+  mc.iterations = 12;
+  const double t = nssa_time_to_reach_issa_spec(125.0, mc);
+  // The unmitigated NSSA burns the mitigated budget well before end of life.
+  EXPECT_LT(t, 1e8);
+  EXPECT_GT(t, 1e2);
+}
+
+}  // namespace
+}  // namespace issa::core

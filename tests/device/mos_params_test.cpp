@@ -1,0 +1,69 @@
+#include "issa/device/mos_params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace issa::device {
+namespace {
+
+TEST(MosParams, CardsAreSane) {
+  for (const MosParams& p : {ptm45_nmos(), ptm45_pmos()}) {
+    EXPECT_GT(p.vth0, 0.2);
+    EXPECT_LT(p.vth0, 0.6);
+    EXPECT_GT(p.mu0, 0.0);
+    EXPECT_GT(p.cox, 0.0);
+    EXPECT_GT(p.esat_l, 0.0);
+    EXPECT_GT(p.n_sub, 1.0);
+    EXPECT_DOUBLE_EQ(p.length, 45e-9);
+    EXPECT_LT(p.vth_tc, 0.0);
+  }
+}
+
+TEST(MosParams, HoleMobilityDeficit) {
+  EXPECT_LT(ptm45_pmos().mu0, ptm45_nmos().mu0);
+}
+
+TEST(MosParams, MobilityAtReferenceIsCardValue) {
+  const MosParams p = ptm45_nmos();
+  EXPECT_DOUBLE_EQ(mobility_at(p, p.tnom), p.mu0);
+}
+
+TEST(MosParams, MobilityFallsWithTemperaturePowerLaw) {
+  const MosParams p = ptm45_nmos();
+  const double hot = mobility_at(p, 2.0 * p.tnom);
+  EXPECT_NEAR(hot / p.mu0, std::pow(2.0, -p.mu_temp_exp), 1e-12);
+}
+
+TEST(MosParams, VthAtReferenceIsCardValue) {
+  const MosParams p = ptm45_nmos();
+  EXPECT_DOUBLE_EQ(vth_at(p, p.tnom), p.vth0);
+}
+
+TEST(MosParams, VthFallsLinearlyWithTemperature) {
+  const MosParams p = ptm45_nmos();
+  EXPECT_NEAR(vth_at(p, p.tnom + 100.0), p.vth0 + 100.0 * p.vth_tc, 1e-15);
+}
+
+TEST(MosInstance, GeometryDerivedQuantities) {
+  MosInstance m;
+  m.card = ptm45_nmos();
+  m.w_over_l = 4.0;
+  EXPECT_DOUBLE_EQ(m.width(), 4.0 * 45e-9);
+  EXPECT_DOUBLE_EQ(m.gate_cap(), m.card.cox * m.width() * m.card.length);
+  EXPECT_DOUBLE_EQ(m.overlap_cap(), m.card.cov_per_width * m.width());
+  EXPECT_DOUBLE_EQ(m.junction_cap(), m.card.cj_per_width * m.width());
+}
+
+TEST(MosInstance, CapsScaleWithWidth) {
+  MosInstance narrow;
+  narrow.card = ptm45_nmos();
+  narrow.w_over_l = 2.0;
+  MosInstance wide = narrow;
+  wide.w_over_l = 8.0;
+  EXPECT_NEAR(wide.gate_cap() / narrow.gate_cap(), 4.0, 1e-12);
+  EXPECT_NEAR(wide.junction_cap() / narrow.junction_cap(), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace issa::device

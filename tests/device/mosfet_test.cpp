@@ -1,0 +1,207 @@
+#include "issa/device/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "issa/device/mos_params.hpp"
+#include "issa/util/units.hpp"
+
+namespace issa::device {
+namespace {
+
+MosInstance nmos(double wl = 5.0) {
+  MosInstance m;
+  m.card = ptm45_nmos();
+  m.type = MosType::kNmos;
+  m.w_over_l = wl;
+  return m;
+}
+
+MosInstance pmos(double wl = 5.0) {
+  MosInstance m;
+  m.card = ptm45_pmos();
+  m.type = MosType::kPmos;
+  m.w_over_l = wl;
+  return m;
+}
+
+constexpr double kT = 298.15;
+
+TEST(Mosfet, NmosOffBelowThreshold) {
+  const MosEval e = evaluate_mosfet(nmos(), {0.0, 1.0, 0.0, 0.0}, kT);
+  EXPECT_LT(std::fabs(e.id), 1e-9);
+}
+
+TEST(Mosfet, NmosConductsAboveThreshold) {
+  const MosEval e = evaluate_mosfet(nmos(), {1.0, 1.0, 0.0, 0.0}, kT);
+  EXPECT_GT(e.id, 1e-5);
+  EXPECT_GT(e.gm, 0.0);
+  EXPECT_GT(e.gds, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  // A PMOS with source at Vdd and gate at 0 conducts with negative drain
+  // current (current flows out of the drain into the load).
+  const MosEval e = evaluate_mosfet(pmos(), {0.0, 0.0, 1.0, 1.0}, kT);
+  EXPECT_LT(e.id, -1e-5);
+}
+
+TEST(Mosfet, PmosOffWithGateHigh) {
+  const MosEval e = evaluate_mosfet(pmos(), {1.0, 0.0, 1.0, 1.0}, kT);
+  EXPECT_LT(std::fabs(e.id), 1e-9);
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const MosEval e = evaluate_mosfet(nmos(), {1.0, 0.3, 0.3, 0.0}, kT);
+  EXPECT_NEAR(e.id, 0.0, 1e-15);
+}
+
+TEST(Mosfet, CurrentScalesWithWidth) {
+  const MosEval narrow = evaluate_mosfet(nmos(2.0), {1.0, 1.0, 0.0, 0.0}, kT);
+  const MosEval wide = evaluate_mosfet(nmos(4.0), {1.0, 1.0, 0.0, 0.0}, kT);
+  EXPECT_NEAR(wide.id / narrow.id, 2.0, 1e-9);
+}
+
+TEST(Mosfet, DrainSourceSwapAntisymmetry) {
+  // id(vg, vd, vs) == -id(vg, vs, vd): the channel has no built-in direction.
+  const MosEval fwd = evaluate_mosfet(nmos(), {0.9, 0.7, 0.2, 0.0}, kT);
+  const MosEval rev = evaluate_mosfet(nmos(), {0.9, 0.2, 0.7, 0.0}, kT);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-15);
+}
+
+TEST(Mosfet, ContinuousAcrossVdsZero) {
+  // The drain/source swap must not create a kink: current is ~linear in vds
+  // through 0.
+  const double eps = 1e-6;
+  const MosEval plus = evaluate_mosfet(nmos(), {1.0, eps, 0.0, 0.0}, kT);
+  const MosEval minus = evaluate_mosfet(nmos(), {1.0, -eps, 0.0, 0.0}, kT);
+  EXPECT_NEAR(plus.id, -minus.id, 1e-12);
+  EXPECT_NEAR(plus.gds, minus.gds, plus.gds * 1e-3);
+}
+
+TEST(Mosfet, SubthresholdSlopeIsExponential) {
+  // One n * vT * ln(10) gate step deep in weak inversion changes the current
+  // by ~10x (the asymptotic slope of the smooth-overdrive model).
+  const MosParams p = ptm45_nmos();
+  const double step = p.n_sub * util::thermal_voltage(kT) * std::log(10.0);
+  const double vg0 = p.vth0 - 0.30;
+  const MosEval lo = evaluate_mosfet(nmos(), {vg0, 1.0, 0.0, 0.0}, kT);
+  const MosEval hi = evaluate_mosfet(nmos(), {vg0 + step, 1.0, 0.0, 0.0}, kT);
+  EXPECT_NEAR(hi.id / lo.id, 10.0, 1.0);
+}
+
+TEST(Mosfet, DeltaVthShiftsCurrentDown) {
+  MosInstance aged = nmos();
+  aged.delta_vth = 0.05;
+  const MosEval fresh = evaluate_mosfet(nmos(), {0.8, 1.0, 0.0, 0.0}, kT);
+  const MosEval old = evaluate_mosfet(aged, {0.8, 1.0, 0.0, 0.0}, kT);
+  EXPECT_LT(old.id, fresh.id);
+}
+
+TEST(Mosfet, DeltaVthShiftsPmosCurrentDown) {
+  MosInstance aged = pmos();
+  aged.delta_vth = 0.05;  // magnitude increase
+  const MosEval fresh = evaluate_mosfet(pmos(), {0.2, 0.0, 1.0, 1.0}, kT);
+  const MosEval old = evaluate_mosfet(aged, {0.2, 0.0, 1.0, 1.0}, kT);
+  EXPECT_LT(std::fabs(old.id), std::fabs(fresh.id));
+}
+
+TEST(Mosfet, MobilityFallsWithTemperature) {
+  const MosEval cold = evaluate_mosfet(nmos(), {1.0, 1.0, 0.0, 0.0}, 273.15);
+  const MosEval hot = evaluate_mosfet(nmos(), {1.0, 1.0, 0.0, 0.0}, 398.15);
+  EXPECT_GT(cold.id, hot.id);
+}
+
+TEST(Mosfet, SubthresholdCurrentRisesWithTemperature) {
+  // Below threshold the Vth reduction and slope win over mobility loss.
+  const MosParams p = ptm45_nmos();
+  const double vg = p.vth0 - 0.15;
+  const MosEval cold = evaluate_mosfet(nmos(), {vg, 1.0, 0.0, 0.0}, 273.15);
+  const MosEval hot = evaluate_mosfet(nmos(), {vg, 1.0, 0.0, 0.0}, 398.15);
+  EXPECT_GT(hot.id, cold.id);
+}
+
+TEST(Mosfet, BodyEffectRaisesVth) {
+  const MosInstance m = nmos();
+  EXPECT_GT(effective_vth(m, 0.5, kT), effective_vth(m, 0.0, kT));
+  // Negative vsb is smoothed, not catastrophic.
+  EXPECT_LE(effective_vth(m, -0.2, kT), effective_vth(m, 0.0, kT) + 1e-3);
+}
+
+TEST(Mosfet, VthFallsWithTemperature) {
+  const MosInstance m = nmos();
+  EXPECT_LT(effective_vth(m, 0.0, 398.15), effective_vth(m, 0.0, 298.15));
+}
+
+TEST(Mosfet, GeometryHelpers) {
+  const MosInstance m = nmos(10.0);
+  EXPECT_DOUBLE_EQ(m.width(), 450e-9);
+  EXPECT_GT(m.gate_cap(), 0.0);
+  EXPECT_GT(m.overlap_cap(), 0.0);
+  EXPECT_GT(m.junction_cap(), 0.0);
+}
+
+// --- analytic derivatives vs central finite differences -------------------
+
+struct BiasPoint {
+  double vg, vd, vs, vb;
+};
+
+class MosfetDerivativeTest
+    : public ::testing::TestWithParam<std::tuple<int, BiasPoint>> {};
+
+TEST_P(MosfetDerivativeTest, MatchesFiniteDifference) {
+  const auto [type_index, bias] = GetParam();
+  const MosInstance inst = type_index == 0 ? nmos() : pmos();
+  const double h = 1e-7;
+
+  auto id_at = [&](double vg, double vd, double vs, double vb) {
+    return evaluate_mosfet(inst, {vg, vd, vs, vb}, kT).id;
+  };
+  const MosEval e = evaluate_mosfet(inst, {bias.vg, bias.vd, bias.vs, bias.vb}, kT);
+
+  const double gm_fd =
+      (id_at(bias.vg + h, bias.vd, bias.vs, bias.vb) - id_at(bias.vg - h, bias.vd, bias.vs, bias.vb)) /
+      (2 * h);
+  const double gds_fd =
+      (id_at(bias.vg, bias.vd + h, bias.vs, bias.vb) - id_at(bias.vg, bias.vd - h, bias.vs, bias.vb)) /
+      (2 * h);
+  const double gms_fd =
+      (id_at(bias.vg, bias.vd, bias.vs + h, bias.vb) - id_at(bias.vg, bias.vd, bias.vs - h, bias.vb)) /
+      (2 * h);
+  const double gmb_fd =
+      (id_at(bias.vg, bias.vd, bias.vs, bias.vb + h) - id_at(bias.vg, bias.vd, bias.vs, bias.vb - h)) /
+      (2 * h);
+
+  const double scale = std::max(1e-9, std::fabs(e.id));
+  EXPECT_NEAR(e.gm, gm_fd, 1e-4 * scale / 0.025 + 1e-12) << "gm";
+  EXPECT_NEAR(e.gds, gds_fd, 1e-4 * scale / 0.025 + 1e-12) << "gds";
+  EXPECT_NEAR(e.gms, gms_fd, 1e-4 * scale / 0.025 + 1e-12) << "gms";
+  EXPECT_NEAR(e.gmb, gmb_fd, 1e-4 * scale / 0.025 + 1e-12) << "gmb";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivativeTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(BiasPoint{1.0, 1.0, 0.0, 0.0},   // strong inversion sat
+                                         BiasPoint{1.0, 0.05, 0.0, 0.0},  // linear region
+                                         BiasPoint{0.5, 0.8, 0.0, 0.0},   // moderate inversion
+                                         BiasPoint{0.3, 1.0, 0.0, 0.0},   // subthreshold
+                                         BiasPoint{0.9, 0.5, 0.2, 0.0},   // lifted source
+                                         BiasPoint{0.8, 0.2, 0.6, 0.0},   // reverse (vd < vs)
+                                         BiasPoint{1.0, 0.7, 0.1, -0.1},  // body bias
+                                         BiasPoint{0.6, 0.6, 0.6, 0.0})));  // flat
+
+TEST(Mosfet, TranslationInvariance) {
+  // Shifting every terminal by the same offset leaves the current unchanged.
+  const MosEval a = evaluate_mosfet(nmos(), {0.9, 0.8, 0.1, 0.0}, kT);
+  const MosEval b = evaluate_mosfet(nmos(), {1.4, 1.3, 0.6, 0.5}, kT);
+  EXPECT_NEAR(a.id, b.id, std::fabs(a.id) * 1e-9);
+  // And the derivative identity gms = -(gm + gds + gmb) holds.
+  EXPECT_NEAR(a.gms, -(a.gm + a.gds + a.gmb), std::fabs(a.gm) * 1e-9 + 1e-15);
+}
+
+}  // namespace
+}  // namespace issa::device

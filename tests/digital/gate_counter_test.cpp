@@ -1,0 +1,129 @@
+#include "issa/digital/gate_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "issa/digital/counter.hpp"
+
+namespace issa::digital {
+namespace {
+
+TEST(Placeholder, BindCreatesWorkingGate) {
+  EventSimulator sim;
+  const SignalId a = sim.add_input("a");
+  const SignalId y = sim.add_placeholder("y");
+  sim.bind_placeholder(y, EventSimulator::Gate::kNot, a, a, 1e-12);
+  sim.set_input(a, LogicValue::k0, 0.0);
+  sim.run_until(1e-9);
+  EXPECT_EQ(sim.value(y), LogicValue::k1);
+}
+
+TEST(Placeholder, DoubleBindThrows) {
+  EventSimulator sim;
+  const SignalId a = sim.add_input("a");
+  const SignalId y = sim.add_placeholder("y");
+  sim.bind_placeholder(y, EventSimulator::Gate::kNot, a, a, 1e-12);
+  EXPECT_THROW(sim.bind_placeholder(y, EventSimulator::Gate::kNot, a, a, 1e-12),
+               std::invalid_argument);
+}
+
+TEST(Placeholder, BindingNonPlaceholderThrows) {
+  EventSimulator sim;
+  const SignalId a = sim.add_input("a");
+  EXPECT_THROW(sim.bind_placeholder(a, EventSimulator::Gate::kNot, a, a, 1e-12),
+               std::invalid_argument);
+}
+
+TEST(Placeholder, SrLatchHoldsState) {
+  // Cross-coupled NANDs: the canonical feedback structure placeholders enable.
+  EventSimulator sim;
+  const SignalId s = sim.add_input("s");  // active low set
+  const SignalId r = sim.add_input("r");  // active low reset
+  const SignalId q = sim.add_placeholder("q");
+  const SignalId qbar = sim.add_nand("qbar", r, q, 1e-12);
+  sim.bind_placeholder(q, EventSimulator::Gate::kNand, s, qbar, 1e-12);
+
+  sim.set_input(s, LogicValue::k0, 0.0);  // set
+  sim.set_input(r, LogicValue::k1, 0.0);
+  sim.run_until(1e-9);
+  EXPECT_EQ(sim.value(q), LogicValue::k1);
+  EXPECT_EQ(sim.value(qbar), LogicValue::k0);
+
+  sim.set_input(s, LogicValue::k1, 2e-9);  // hold
+  sim.run_until(3e-9);
+  EXPECT_EQ(sim.value(q), LogicValue::k1);
+
+  sim.set_input(r, LogicValue::k0, 4e-9);  // reset
+  sim.run_until(5e-9);
+  EXPECT_EQ(sim.value(q), LogicValue::k0);
+  EXPECT_EQ(sim.value(qbar), LogicValue::k1);
+}
+
+TEST(GateLevelCounter, ResetsToZero) {
+  EventSimulator sim;
+  GateLevelCounter counter(sim, 4);
+  counter.reset_then_settle();
+  EXPECT_EQ(counter.value(), 0u);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.value(counter.bit_output(i)), LogicValue::k0) << i;
+  }
+}
+
+TEST(GateLevelCounter, CountsUp) {
+  EventSimulator sim;
+  GateLevelCounter counter(sim, 3);
+  double t = counter.reset_then_settle();
+  for (std::uint64_t expected = 1; expected <= 10; ++expected) {
+    t = counter.pulse_clock(t + 1e-11);
+    EXPECT_EQ(counter.value(), expected % 8) << "pulse " << expected;
+  }
+}
+
+TEST(GateLevelCounter, MatchesBehavioralCounter) {
+  EventSimulator sim;
+  GateLevelCounter gate(sim, 4);
+  ReadCounter behavioral(4);
+  double t = gate.reset_then_settle();
+  for (int i = 0; i < 40; ++i) {
+    t = gate.pulse_clock(t + 1e-11);
+    behavioral.increment();
+    ASSERT_EQ(gate.value(), behavioral.value()) << "pulse " << i;
+    ASSERT_EQ(is_high(sim.value(gate.switch_output())), behavioral.msb()) << "pulse " << i;
+  }
+}
+
+TEST(GateLevelCounter, SwitchTogglesAtHalfRange) {
+  EventSimulator sim;
+  GateLevelCounter counter(sim, 3);  // switch period 4
+  double t = counter.reset_then_settle();
+  for (int i = 0; i < 3; ++i) t = counter.pulse_clock(t + 1e-11);
+  EXPECT_EQ(sim.value(counter.switch_output()), LogicValue::k0);
+  t = counter.pulse_clock(t + 1e-11);  // 4th read
+  EXPECT_EQ(sim.value(counter.switch_output()), LogicValue::k1);
+}
+
+TEST(GateLevelCounter, GateCountIsSmall) {
+  // Sec. IV-C: the control block is "one counter and three extra gates";
+  // the full gate-level counter stays within a few gates per bit.
+  EventSimulator sim;
+  GateLevelCounter counter(sim, 8);
+  EXPECT_LT(counter.gate_count(), 8u * 16u);
+  EXPECT_GT(counter.gate_count(), 8u * 8u);
+}
+
+TEST(GateLevelCounter, RejectsZeroWidth) {
+  EventSimulator sim;
+  EXPECT_THROW(GateLevelCounter(sim, 0), std::invalid_argument);
+}
+
+TEST(GateLevelCounter, WrapsAround) {
+  EventSimulator sim;
+  GateLevelCounter counter(sim, 2);
+  double t = counter.reset_then_settle();
+  for (int i = 0; i < 4; ++i) t = counter.pulse_clock(t + 1e-11);
+  EXPECT_EQ(counter.value(), 0u);
+  t = counter.pulse_clock(t + 1e-11);
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+}  // namespace
+}  // namespace issa::digital

@@ -1,0 +1,69 @@
+#include "issa/digital/logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace issa::digital {
+namespace {
+
+constexpr LogicValue k0 = LogicValue::k0;
+constexpr LogicValue k1 = LogicValue::k1;
+constexpr LogicValue kX = LogicValue::kX;
+
+TEST(Logic, Not) {
+  EXPECT_EQ(logic_not(k0), k1);
+  EXPECT_EQ(logic_not(k1), k0);
+  EXPECT_EQ(logic_not(kX), kX);
+}
+
+TEST(Logic, AndTruthTable) {
+  EXPECT_EQ(logic_and(k0, k0), k0);
+  EXPECT_EQ(logic_and(k0, k1), k0);
+  EXPECT_EQ(logic_and(k1, k0), k0);
+  EXPECT_EQ(logic_and(k1, k1), k1);
+}
+
+TEST(Logic, AndControllingZeroBeatsX) {
+  EXPECT_EQ(logic_and(k0, kX), k0);
+  EXPECT_EQ(logic_and(kX, k0), k0);
+  EXPECT_EQ(logic_and(k1, kX), kX);
+  EXPECT_EQ(logic_and(kX, kX), kX);
+}
+
+TEST(Logic, OrTruthTable) {
+  EXPECT_EQ(logic_or(k0, k0), k0);
+  EXPECT_EQ(logic_or(k0, k1), k1);
+  EXPECT_EQ(logic_or(k1, k1), k1);
+}
+
+TEST(Logic, OrControllingOneBeatsX) {
+  EXPECT_EQ(logic_or(k1, kX), k1);
+  EXPECT_EQ(logic_or(kX, k1), k1);
+  EXPECT_EQ(logic_or(k0, kX), kX);
+}
+
+TEST(Logic, NandNorXor) {
+  EXPECT_EQ(logic_nand(k1, k1), k0);
+  EXPECT_EQ(logic_nand(k0, k1), k1);
+  EXPECT_EQ(logic_nand(k0, kX), k1);
+  EXPECT_EQ(logic_nor(k0, k0), k1);
+  EXPECT_EQ(logic_nor(k1, kX), k0);
+  EXPECT_EQ(logic_xor(k0, k1), k1);
+  EXPECT_EQ(logic_xor(k1, k1), k0);
+  EXPECT_EQ(logic_xor(k1, kX), kX);
+}
+
+TEST(Logic, Helpers) {
+  EXPECT_EQ(to_logic(true), k1);
+  EXPECT_EQ(to_logic(false), k0);
+  EXPECT_TRUE(is_high(k1));
+  EXPECT_FALSE(is_high(k0));
+  EXPECT_FALSE(is_high(kX));
+  EXPECT_TRUE(is_known(k0));
+  EXPECT_FALSE(is_known(kX));
+  EXPECT_EQ(to_string(k0), "0");
+  EXPECT_EQ(to_string(k1), "1");
+  EXPECT_EQ(to_string(kX), "X");
+}
+
+}  // namespace
+}  // namespace issa::digital

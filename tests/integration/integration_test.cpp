@@ -1,0 +1,147 @@
+// Cross-module integration tests: the paper's headline claims, end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/analysis/montecarlo.hpp"
+#include "issa/core/experiment.hpp"
+#include "issa/digital/control.hpp"
+#include "issa/mem/column.hpp"
+#include "issa/sa/measure.hpp"
+#include "issa/workload/bitstream.hpp"
+
+namespace issa {
+namespace {
+
+analysis::McConfig mc(std::size_t n) {
+  analysis::McConfig cfg;
+  cfg.iterations = n;
+  cfg.seed = 42;
+  return cfg;
+}
+
+analysis::Condition condition(sa::SenseAmpKind kind, const char* wl, double t,
+                              double temperature_c = 25.0) {
+  analysis::Condition c;
+  c.kind = kind;
+  c.config = sa::nominal_config();
+  c.config.temperature_c = temperature_c;
+  c.workload = workload::workload_from_name(wl);
+  c.stress_time_s = t;
+  return c;
+}
+
+// Headline claim 1: the aged unbalanced NSSA needs a larger spec than the
+// aged ISSA under the same external workload.
+TEST(Integration, IssaReducesAgedSpec) {
+  const auto nssa =
+      analysis::measure_offset_distribution(condition(sa::SenseAmpKind::kNssa, "80r0", 1e8), mc(48));
+  const auto issa =
+      analysis::measure_offset_distribution(condition(sa::SenseAmpKind::kIssa, "80r0", 1e8), mc(48));
+  EXPECT_GT(nssa.spec(), issa.spec());
+  EXPECT_GT(std::fabs(nssa.summary.mean), std::fabs(issa.summary.mean));
+}
+
+// Headline claim 2 (the ~40% number lives at 125 C): spec reduction grows
+// with temperature.
+TEST(Integration, IssaGainIsLargerAtHighTemperature) {
+  const auto nssa_hot = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kNssa, "80r0", 1e8, 125.0), mc(32));
+  const auto issa_hot = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kIssa, "80r0", 1e8, 125.0), mc(32));
+  const double reduction_hot = 1.0 - issa_hot.spec() / nssa_hot.spec();
+  EXPECT_GT(reduction_hot, 0.2);  // paper: ~40%
+}
+
+// Headline claim 3: the ISSA's sigma matches the NSSA's (the scheme
+// re-centres the mean, it does not change the spread).
+TEST(Integration, IssaDoesNotChangeSigma) {
+  const auto nssa = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kNssa, "80r0r1", 1e8), mc(48));
+  const auto issa = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kIssa, "80r0", 1e8), mc(48));
+  EXPECT_NEAR(issa.summary.stddev / nssa.summary.stddev, 1.0, 0.25);
+}
+
+// Control logic + analog circuit together: a swapped read returns the
+// complement at the circuit output and the controller's invert flag fixes it.
+TEST(Integration, ControlledIssaReadsCorrectlyAcrossSwaps) {
+  digital::IssaController ctl(2);  // swap every 2 reads to exercise both states
+  auto circuit = sa::build_issa(sa::nominal_config());
+
+  const auto stream = workload::generate_read_stream(
+      workload::workload_from_name("80r0r1"), 8, 123);
+  for (const bool bit : stream) {
+    const bool swapped = ctl.switch_signal();
+    circuit.set_swapped(swapped);
+    // Drive the bitlines with the external value: reading 1 = BLBar drops.
+    const double vin = bit ? 0.1 : -0.1;
+    const bool raw = sa::run_sense(circuit, vin).read_one;
+    const bool corrected = ctl.output_invert() ? !raw : raw;
+    EXPECT_EQ(corrected, bit);
+    ctl.process_read(bit);
+  }
+}
+
+// Balanced-workload mechanism, measured through the full stack: per-device
+// aging shifts of the ISSA core are symmetric, the NSSA's are not.
+TEST(Integration, AgingAsymmetryOnlyInNssa) {
+  const analysis::McConfig cfg = mc(1);
+  auto nssa = analysis::build_sample(condition(sa::SenseAmpKind::kNssa, "80r0", 1e8), cfg, 0);
+  auto issa = analysis::build_sample(condition(sa::SenseAmpKind::kIssa, "80r0", 1e8), cfg, 0);
+
+  auto asymmetry = [](sa::SenseAmpCircuit& c) {
+    const double a = c.netlist().find_mosfet("Mdown").inst.delta_vth;
+    const double b = c.netlist().find_mosfet("MdownBar").inst.delta_vth;
+    return a - b;
+  };
+  // One sample is noisy; check the expected structural difference via the
+  // estimator over a few samples.
+  double nssa_asym = 0.0;
+  double issa_asym = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto n = analysis::build_sample(condition(sa::SenseAmpKind::kNssa, "80r0", 1e8), cfg, i);
+    auto s = analysis::build_sample(condition(sa::SenseAmpKind::kIssa, "80r0", 1e8), cfg, i);
+    nssa_asym += asymmetry(n);
+    issa_asym += asymmetry(s);
+  }
+  EXPECT_GT(nssa_asym / 8.0, 5e-3);
+  EXPECT_LT(std::fabs(issa_asym / 8.0), 5e-3);
+  (void)nssa;
+  (void)issa;
+}
+
+// System-level: plugging the aged specs into the memory column shows the
+// ISSA-based memory reads faster (the paper's motivation in Sec. I).
+TEST(Integration, MemoryReadTimeImprovesWithIssa) {
+  const auto nssa = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kNssa, "80r0", 1e8, 125.0), mc(32));
+  const auto issa = analysis::measure_offset_distribution(
+      condition(sa::SenseAmpKind::kIssa, "80r0", 1e8, 125.0), mc(32));
+  const mem::ColumnReadPath path;
+  const double t_nssa = path.timing(nssa.spec(), 25e-12, 1.0, 398.15).total();
+  const double t_issa = path.timing(issa.spec(), 25e-12, 1.0, 398.15).total();
+  EXPECT_LT(t_issa, t_nssa);
+}
+
+// The DC estimator and the transient measurement agree across a population
+// (estimator ablation at system level).
+TEST(Integration, EstimatorTracksTransientAcrossSamples) {
+  const analysis::McConfig cfg = mc(1);
+  double sum_product = 0.0;
+  int agreements = 0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    auto c = analysis::build_sample(condition(sa::SenseAmpKind::kNssa, "80r0", 1e8), cfg,
+                                    static_cast<std::size_t>(i));
+    const double est = sa::estimate_offset_dc(c);
+    const double meas = sa::measure_offset(c).offset;
+    sum_product += est * meas;
+    if (std::fabs(est - meas) < 0.015) ++agreements;
+  }
+  EXPECT_GT(sum_product, 0.0);  // positively correlated
+  EXPECT_GE(agreements, n - 2);
+}
+
+}  // namespace
+}  // namespace issa

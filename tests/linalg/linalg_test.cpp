@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "issa/linalg/lu.hpp"
+#include "issa/linalg/matrix.hpp"
+#include "issa/util/rng.hpp"
+
+namespace issa::linalg {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  Matrix m(2, 3);
+  m(1, 2) = 4.0;
+  m.set_zero();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, MultiplyMatchesManual) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const std::vector<double> x = {1.0, 0.5, -1.0};
+  const auto y = m.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 + 2.5 - 6.0);
+}
+
+TEST(Matrix, MultiplySizeMismatchThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m(2, 2);
+  m(0, 1) = -7.5;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.5);
+}
+
+TEST(Lu, SolvesIdentity) {
+  const Matrix eye = Matrix::identity(4);
+  const std::vector<double> b = {1, 2, 3, 4};
+  const auto x = solve_linear_system(eye, b);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const auto x = solve_linear_system(a, std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the leading diagonal: fails without row exchanges.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve_linear_system(a, std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactorization{a}, std::runtime_error);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, std::invalid_argument);
+}
+
+TEST(Lu, ReusableAcrossRhs) {
+  Matrix a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  a(1, 2) = 1;
+  a(2, 1) = 1;
+  a(2, 2) = 2;
+  const LuFactorization lu(a);
+  for (const double scale : {1.0, -2.0, 0.5}) {
+    const std::vector<double> b = {scale, 2 * scale, 3 * scale};
+    const auto x = lu.solve(b);
+    const auto back = a.multiply(x);
+    for (int i = 0; i < 3; ++i) EXPECT_NEAR(back[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+class LuRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, RandomSystemsRoundTrip) {
+  const int n = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(n) * 7919);
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = rng.normal();
+    // Diagonal dominance guarantees non-singularity.
+    a(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += n;
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.normal();
+  const auto b = a.multiply(x_true);
+  const auto x = solve_linear_system(a, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Lu, SolveInPlace) {
+  Matrix a = Matrix::identity(2);
+  a(0, 1) = 1.0;
+  const LuFactorization lu(a);
+  std::vector<double> b = {3.0, 2.0};
+  lu.solve_in_place(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SolveSizeMismatchThrows) {
+  const LuFactorization lu(Matrix::identity(3));
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace issa::linalg

@@ -1,0 +1,170 @@
+#include "issa/sa/double_tail.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/aging/bti_model.hpp"
+#include "issa/sa/measure.hpp"
+#include "issa/util/statistics.hpp"
+#include "issa/variation/mismatch.hpp"
+
+namespace issa::sa {
+namespace {
+
+namespace dn = dt_names;
+
+TEST(DoubleTail, SensesBothDirections) {
+  auto c = build_double_tail(nominal_config());
+  EXPECT_TRUE(run_sense(c, 0.05).read_one);
+  EXPECT_FALSE(run_sense(c, -0.05).read_one);
+}
+
+TEST(DoubleTail, SwitchingVariantSensesBothDirections) {
+  auto c = build_double_tail_switching(nominal_config());
+  EXPECT_TRUE(run_sense(c, 0.05).read_one);
+  EXPECT_FALSE(run_sense(c, -0.05).read_one);
+}
+
+TEST(DoubleTail, SwappedReadsInvertedValue) {
+  auto c = build_double_tail_switching(nominal_config());
+  c.set_swapped(true);
+  EXPECT_FALSE(run_sense(c, 0.05).read_one);
+  EXPECT_TRUE(run_sense(c, -0.05).read_one);
+}
+
+TEST(DoubleTail, PlainVariantHasNoSwap) {
+  auto c = build_double_tail(nominal_config());
+  EXPECT_THROW(c.set_swapped(true), std::logic_error);
+}
+
+TEST(DoubleTail, MismatchFreeOffsetIsNearZero) {
+  auto c = build_double_tail(nominal_config());
+  const OffsetResult r = measure_offset(c);
+  EXPECT_LT(std::fabs(r.offset), 1e-3);
+  EXPECT_FALSE(r.saturated);
+}
+
+TEST(DoubleTail, DelayResolves) {
+  auto c = build_double_tail(nominal_config());
+  const DelayPair d = measure_delay(c);
+  EXPECT_GT(d.mean(), 10e-12);
+  EXPECT_LT(d.mean(), 45e-12);
+  EXPECT_NEAR(d.read_one, d.read_zero, 1e-12);
+}
+
+TEST(DoubleTail, OutputsPrechargeHighAndOneFalls) {
+  // The generalized delay detection must handle outputs that start high.
+  auto c = build_double_tail(nominal_config());
+  const auto tr = run_sense_transient(c, 0.1);
+  EXPECT_GT(tr.node_wave(c.node_out()).front(), 0.9);
+  EXPECT_GT(tr.node_wave(c.node_outbar()).front(), 0.9);
+  // Reading 1 drives L high -> OutBar falls, Out stays high.
+  EXPECT_LT(tr.node_wave(c.node_outbar()).back(), 0.1);
+  EXPECT_GT(tr.node_wave(c.node_out()).back(), 0.9);
+}
+
+TEST(DoubleTail, InputPairMismatchDominatesOffset) {
+  auto c = build_double_tail(nominal_config());
+  c.netlist().find_mosfet(dn::kMin).inst.delta_vth = 0.03;
+  // A weaker Min slows the DiBar discharge -> favors reading 0 -> more swing
+  // needed in the read-1 direction -> negative offset in the paper's
+  // (read-0-positive) convention.
+  const OffsetResult r = measure_offset(c);
+  EXPECT_LT(r.offset, -0.01);
+}
+
+TEST(DoubleTail, InjectorMismatchShiftsOffset) {
+  auto c = build_double_tail(nominal_config());
+  c.netlist().find_mosfet(dn::kInj).inst.delta_vth = 0.05;
+  const double with_inj = measure_offset(c).offset;
+  EXPECT_GT(std::fabs(with_inj), 2e-3);
+}
+
+TEST(DoubleTail, SymmetricAgingCancels) {
+  auto c = build_double_tail(nominal_config());
+  c.netlist().find_mosfet(dn::kMin).inst.delta_vth = 0.03;
+  c.netlist().find_mosfet(dn::kMinBar).inst.delta_vth = 0.03;
+  EXPECT_LT(std::fabs(measure_offset(c).offset), 3e-3);
+}
+
+TEST(DoubleTail, StressMapCoversEveryDevice) {
+  const auto plain = double_tail_stress_map(workload::workload_from_name("80r0"), 1.0);
+  auto c = build_double_tail(nominal_config());
+  for (const auto& m : c.netlist().mosfets()) {
+    EXPECT_EQ(plain.count(m.name), 1u) << m.name;
+  }
+  const auto sw = double_tail_switching_stress_map(workload::workload_from_name("80r0"), 1.0);
+  auto cs = build_double_tail_switching(nominal_config());
+  for (const auto& m : cs.netlist().mosfets()) {
+    EXPECT_EQ(sw.count(m.name), 1u) << m.name;
+  }
+}
+
+TEST(DoubleTail, StressMapsValidate) {
+  for (const auto& w : workload::paper_workloads()) {
+    for (const auto& [name, profile] : double_tail_stress_map(w, 1.0)) {
+      EXPECT_NO_THROW(profile.validate()) << name;
+    }
+    for (const auto& [name, profile] : double_tail_switching_stress_map(w, 1.0)) {
+      EXPECT_NO_THROW(profile.validate()) << name;
+    }
+  }
+}
+
+TEST(DoubleTail, UnbalancedWorkloadAgesAsymmetrically) {
+  // Reading zeros discharges Di (BLBar side stays high), so InjBar's gate
+  // (DiBar) stays high through the evaluation: InjBar out-stresses Inj.
+  const auto map = double_tail_stress_map(workload::workload_from_name("80r0"), 1.0);
+  EXPECT_GT(map.at(std::string(dn::kInjBar)).duty(), map.at(std::string(dn::kInj)).duty());
+  const auto balanced =
+      double_tail_switching_stress_map(workload::workload_from_name("80r0"), 1.0);
+  EXPECT_DOUBLE_EQ(balanced.at(std::string(dn::kInj)).duty(),
+                   balanced.at(std::string(dn::kInjBar)).duty());
+}
+
+TEST(DoubleTail, SwitchingMitigatesAgedOffsetShift) {
+  // The headline extension claim: input switching re-centres the aged offset
+  // for this topology too.
+  const auto cfg = nominal_config();
+  const auto w = workload::workload_from_name("80r0");
+  const auto plain_map = double_tail_stress_map(w, cfg.vdd);
+  const auto sw_map = double_tail_switching_stress_map(w, cfg.vdd);
+  // Paired comparison: the same mismatch and trap streams drive both
+  // variants (device names are shared), so the per-sample difference
+  // isolates the workload-balancing effect from Monte-Carlo noise.
+  util::RunningStats paired_diff;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    auto plain = build_double_tail(cfg);
+    variation::apply_process_variation(plain.netlist(), variation::default_mismatch(), 42, i);
+    aging::apply_bti_aging(plain.netlist(), aging::default_bti(), plain_map, 1e8,
+                           cfg.temperature_k(), 42, i);
+    const double plain_offset = measure_offset(plain).offset;
+
+    auto sw = build_double_tail_switching(cfg);
+    variation::apply_process_variation(sw.netlist(), variation::default_mismatch(), 42, i);
+    aging::apply_bti_aging(sw.netlist(), aging::default_bti(), sw_map, 1e8, cfg.temperature_k(),
+                           42, i);
+    paired_diff.add(plain_offset - measure_offset(sw).offset);
+  }
+  // 80r0 ages the plain double-tail toward positive offsets; switching
+  // removes that drift, so the paired difference is clearly positive.
+  EXPECT_GT(paired_diff.mean(), 5e-3);
+}
+
+TEST(DoubleTail, BuildSenseAmpDispatch) {
+  EXPECT_EQ(build_sense_amp(SenseAmpKind::kDoubleTail, nominal_config()).kind(),
+            SenseAmpKind::kDoubleTail);
+  EXPECT_EQ(build_sense_amp(SenseAmpKind::kDoubleTailSwitching, nominal_config()).kind(),
+            SenseAmpKind::kDoubleTailSwitching);
+}
+
+TEST(DoubleTail, KindHelpers) {
+  EXPECT_TRUE(is_switching_kind(SenseAmpKind::kIssa));
+  EXPECT_TRUE(is_switching_kind(SenseAmpKind::kDoubleTailSwitching));
+  EXPECT_FALSE(is_switching_kind(SenseAmpKind::kNssa));
+  EXPECT_FALSE(is_switching_kind(SenseAmpKind::kDoubleTail));
+}
+
+}  // namespace
+}  // namespace issa::sa

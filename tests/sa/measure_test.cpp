@@ -1,0 +1,179 @@
+#include "issa/sa/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/workload/device_names.hpp"
+
+namespace issa::sa {
+namespace {
+
+namespace nm = workload::names;
+
+TEST(Measure, NssaSensesBothDirections) {
+  auto c = build_nssa(nominal_config());
+  EXPECT_TRUE(run_sense(c, 0.05).read_one);
+  EXPECT_FALSE(run_sense(c, -0.05).read_one);
+}
+
+TEST(Measure, IssaSensesBothDirections) {
+  auto c = build_issa(nominal_config());
+  EXPECT_TRUE(run_sense(c, 0.05).read_one);
+  EXPECT_FALSE(run_sense(c, -0.05).read_one);
+}
+
+TEST(Measure, IssaSwappedReadsInvertedValue) {
+  // With the crossed pass pair active, the same bitline input lands on the
+  // opposite internal node, so the raw circuit decision flips — this is why
+  // the control logic must invert the final read value (Sec. III-A).
+  auto c = build_issa(nominal_config());
+  c.set_swapped(true);
+  EXPECT_FALSE(run_sense(c, 0.05).read_one);
+  EXPECT_TRUE(run_sense(c, -0.05).read_one);
+}
+
+TEST(Measure, MismatchFreeOffsetIsNearZero) {
+  auto c = build_nssa(nominal_config());
+  const OffsetResult r = measure_offset(c);
+  EXPECT_LT(std::fabs(r.offset), 1e-3);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GT(r.transients, 5);
+}
+
+TEST(Measure, OffsetResolutionMatchesTolerance) {
+  auto c = build_nssa(nominal_config());
+  OffsetSearchOptions opt;
+  opt.tolerance = 1e-4;
+  const OffsetResult coarse = measure_offset(c, opt);
+  opt.tolerance = 2.5e-5;
+  const OffsetResult fine = measure_offset(c, opt);
+  EXPECT_NEAR(coarse.offset, fine.offset, 2e-4);
+  EXPECT_GT(fine.transients, coarse.transients);
+}
+
+TEST(Measure, WeakenedMdownShiftsOffsetPositive) {
+  // The paper's sign discussion: stressing Mdown (read-0 pull-down of S)
+  // raises the required offset in the read-0 direction -> positive shift.
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMdown).inst.delta_vth = 0.03;
+  const OffsetResult r = measure_offset(c);
+  EXPECT_GT(r.offset, 0.015);
+  EXPECT_LT(r.offset, 0.06);
+}
+
+TEST(Measure, WeakenedMdownBarShiftsOffsetNegative) {
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMdownBar).inst.delta_vth = 0.03;
+  const OffsetResult r = measure_offset(c);
+  EXPECT_LT(r.offset, -0.015);
+}
+
+TEST(Measure, WeakenedMupBarShiftsOffsetPositive) {
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMupBar).inst.delta_vth = 0.05;
+  EXPECT_GT(measure_offset(c).offset, 0.0);
+}
+
+TEST(Measure, SymmetricAgingCancels) {
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMdown).inst.delta_vth = 0.03;
+  c.netlist().find_mosfet(nm::kMdownBar).inst.delta_vth = 0.03;
+  EXPECT_LT(std::fabs(measure_offset(c).offset), 2e-3);
+}
+
+TEST(Measure, SaturationIsFlagged) {
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMdown).inst.delta_vth = 0.5;  // absurdly aged
+  OffsetSearchOptions opt;
+  opt.vmax = 0.1;
+  const OffsetResult r = measure_offset(c, opt);
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(Measure, BadSearchOptionsThrow) {
+  auto c = build_nssa(nominal_config());
+  OffsetSearchOptions opt;
+  opt.vmax = -1.0;
+  EXPECT_THROW(measure_offset(c, opt), std::invalid_argument);
+  opt.vmax = 0.1;
+  opt.tolerance = 0.2;
+  EXPECT_THROW(measure_offset(c, opt), std::invalid_argument);
+}
+
+TEST(Measure, DelayPairIsPlausible) {
+  auto c = build_nssa(nominal_config());
+  const DelayPair d = measure_delay(c);
+  // Fresh symmetric SA: both directions nearly equal, near the paper's 13.6 ps.
+  EXPECT_NEAR(d.read_one, d.read_zero, 1e-12);
+  EXPECT_GT(d.mean(), 8e-12);
+  EXPECT_LT(d.mean(), 22e-12);
+  EXPECT_GE(d.worst(), d.mean());
+}
+
+TEST(Measure, DelayRejectsBadInput) {
+  auto c = build_nssa(nominal_config());
+  EXPECT_THROW(measure_delay(c, 0.0), std::invalid_argument);
+  EXPECT_THROW(measure_delay(c, -0.1), std::invalid_argument);
+}
+
+TEST(Measure, AgedDirectionIsSlower) {
+  auto c = build_nssa(nominal_config());
+  // Stress the read-0 path (Mdown + MupBar): reading 0 gets slower.
+  c.netlist().find_mosfet(nm::kMdown).inst.delta_vth = 0.08;
+  c.netlist().find_mosfet(nm::kMupBar).inst.delta_vth = 0.08;
+  const DelayPair d = measure_delay(c);
+  EXPECT_GT(d.read_zero, d.read_one);
+}
+
+TEST(Measure, LowerVddIsSlower) {
+  SenseAmpConfig lo = nominal_config();
+  lo.vdd = 0.9;
+  SenseAmpConfig hi = nominal_config();
+  hi.vdd = 1.1;
+  auto clo = build_nssa(lo);
+  auto chi = build_nssa(hi);
+  EXPECT_GT(measure_delay(clo).mean(), measure_delay(chi).mean());
+}
+
+TEST(Measure, HotterIsSlower) {
+  SenseAmpConfig hot = nominal_config();
+  hot.temperature_c = 125.0;
+  auto c25 = build_nssa(nominal_config());
+  auto c125 = build_nssa(hot);
+  EXPECT_GT(measure_delay(c125).mean(), measure_delay(c25).mean());
+}
+
+TEST(Measure, IssaDelayOverheadIsSmall) {
+  auto nssa = build_nssa(nominal_config());
+  auto issa = build_issa(nominal_config());
+  const double dn = measure_delay(nssa).mean();
+  const double di = measure_delay(issa).mean();
+  EXPECT_GT(di, dn);            // extra junction load costs something
+  EXPECT_LT(di, dn * 1.10);     // ... but stays marginal (paper: ~2%)
+}
+
+TEST(Measure, RunSenseTransientExposesWaveforms) {
+  auto c = build_nssa(nominal_config());
+  const auto tr = run_sense_transient(c, 0.05);
+  EXPECT_GT(tr.steps(), 100u);
+  // S and SBar must split to the rails by the end.
+  const double s_end = tr.node_wave(c.node_s()).back();
+  const double sbar_end = tr.node_wave(c.node_sbar()).back();
+  EXPECT_GT(s_end - sbar_end, 0.5);
+}
+
+TEST(Measure, DcEstimateTracksTransientOffset) {
+  // The cheap estimator should agree with the authoritative transient
+  // measurement to first order (ablation baseline).
+  auto c = build_nssa(nominal_config());
+  c.netlist().find_mosfet(nm::kMdown).inst.delta_vth = 0.02;
+  c.netlist().find_mosfet(nm::kMupBar).inst.delta_vth = 0.01;
+  const double estimate = estimate_offset_dc(c);
+  const double measured = measure_offset(c).offset;
+  EXPECT_NEAR(estimate, measured, 0.012);
+  EXPECT_GT(estimate * measured, 0.0);  // same sign
+}
+
+}  // namespace
+}  // namespace issa::sa

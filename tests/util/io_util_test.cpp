@@ -1,0 +1,130 @@
+// Tests for AsciiTable, CsvWriter, Options (CLI), and the unit helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "issa/util/cli.hpp"
+#include "issa/util/csv.hpp"
+#include "issa/util/table.hpp"
+#include "issa/util/units.hpp"
+
+namespace issa::util {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "22.50"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(AsciiTable, ColumnsAlign) {
+  AsciiTable t({"k", "v"});
+  t.add_row({"aa", "1"});
+  t.add_row({"b", "22"});
+  std::istringstream lines(t.to_string());
+  std::string first;
+  std::getline(lines, first);
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(AsciiTable, RejectsBadRows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+TEST(AsciiTable, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/issa_csv_test.csv";
+  {
+    CsvWriter csv(path, {"t", "v"});
+    csv.add_row(std::vector<double>{1.0, 2.0});
+    csv.add_row(std::vector<std::string>{"x", "y"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/issa_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<double>{1.0}), std::invalid_argument);
+  csv.close();
+  std::remove(path.c_str());
+}
+
+TEST(Options, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--fast", "--mc=250", "--name=hello", "--x=-1.5"};
+  Options opt(5, argv);
+  EXPECT_TRUE(opt.has_flag("fast"));
+  EXPECT_FALSE(opt.has_flag("slow"));
+  EXPECT_EQ(opt.get_long_or("mc", 0), 250);
+  EXPECT_EQ(*opt.get_string("name"), "hello");
+  EXPECT_DOUBLE_EQ(*opt.get_double("x"), -1.5);
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opt(1, argv);
+  EXPECT_DOUBLE_EQ(opt.get_double_or("x", 2.5), 2.5);
+  EXPECT_EQ(opt.get_long_or("n", 7), 7);
+  EXPECT_FALSE(opt.get_string("missing").has_value());
+}
+
+TEST(Options, FlagValueZeroMeansOff) {
+  const char* argv[] = {"prog", "--fast=0"};
+  Options opt(2, argv);
+  EXPECT_FALSE(opt.has_flag("fast"));
+}
+
+TEST(Options, BadNumberThrows) {
+  const char* argv[] = {"prog", "--mc=abc"};
+  Options opt(2, argv);
+  EXPECT_THROW(opt.get_long("mc"), std::invalid_argument);
+}
+
+TEST(Options, BenchIterationsDefaultMatchesPaper) {
+  const char* argv[] = {"prog"};
+  Options opt(1, argv);
+  // Unless the environment forces fast mode, the default is the paper's 400.
+  if (std::getenv("ISSA_FAST") == nullptr) {
+    EXPECT_EQ(bench_mc_iterations(opt), 400u);
+  }
+  const char* argv2[] = {"prog", "--mc=33"};
+  Options opt2(2, argv2);
+  EXPECT_EQ(bench_mc_iterations(opt2), 33u);
+}
+
+TEST(Units, Conversions) {
+  using namespace literals;
+  EXPECT_DOUBLE_EQ(5_mV, 0.005);
+  EXPECT_DOUBLE_EQ(2.5_ps, 2.5e-12);
+  EXPECT_DOUBLE_EQ(1_fF, 1e-15);
+  EXPECT_DOUBLE_EQ(to_mV(0.0148), 14.8);
+  EXPECT_DOUBLE_EQ(to_ps(13.6e-12), 13.6);
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(25.0), 298.15);
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+}
+
+}  // namespace
+}  // namespace issa::util

@@ -1,0 +1,62 @@
+#include "issa/util/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace issa::util {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.841344746068543, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.158655253931457, 1e-12);
+  EXPECT_NEAR(normal_cdf(2.0), 0.977249868051821, 1e-12);
+}
+
+TEST(NormalSf, ComplementsWithoutCancellation) {
+  EXPECT_NEAR(normal_sf(0.0), 0.5, 1e-15);
+  // Far tail: 1 - cdf would lose all precision; sf must not.
+  EXPECT_NEAR(normal_sf(6.0) / 9.865876450377018e-10, 1.0, 1e-9);
+  EXPECT_NEAR(normal_sf(8.0) / 6.22096057427178e-16, 1.0, 1e-8);
+}
+
+TEST(NormalPdf, PeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-15);
+  EXPECT_DOUBLE_EQ(normal_pdf(1.3), normal_pdf(-1.3));
+}
+
+TEST(NormalQuantile, RoundTripsThroughCdf) {
+  for (double p : {1e-12, 1e-9, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6}) {
+    const double x = normal_quantile(p);
+    EXPECT_NEAR(normal_cdf(x), p, 1e-13 + p * 1e-10) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.841344746068543), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, PaperSixSigmaPoint) {
+  // fr = 1e-9 two-sided -> quantile(1 - 5e-10) ~= 6.1 sigma (paper Sec. II-C).
+  const double z = normal_quantile(1.0 - 0.5e-9);
+  EXPECT_NEAR(z, 6.1, 0.02);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-10);
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(std::nan("")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace issa::util

@@ -1,0 +1,90 @@
+#include "issa/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace issa::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, HandlesSingleElement) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, OffsetRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 110, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  long expected = 0;
+  for (long i = 10; i < 110; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SequentialFallbackForTinyRanges) {
+  ThreadPool pool(8);
+  std::vector<int> hits(1, 0);
+  pool.parallel_for(0, 1, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GT(ThreadPool::global().thread_count(), 0u);
+}
+
+TEST(ThreadPool, NestedUseFromManyCallers) {
+  // Multiple sequential parallel_for calls must not deadlock or misbehave.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace issa::util

@@ -1,0 +1,107 @@
+#include "issa/variation/mismatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "issa/util/statistics.hpp"
+
+namespace issa::variation {
+namespace {
+
+device::MosInstance nmos(double wl) {
+  device::MosInstance m;
+  m.card = device::ptm45_nmos();
+  m.type = device::MosType::kNmos;
+  m.w_over_l = wl;
+  return m;
+}
+
+TEST(Mismatch, SigmaFollowsPelgromLaw) {
+  const MismatchParams p = default_mismatch();
+  const double s1 = vth_mismatch_sigma(p, nmos(4.0));
+  const double s2 = vth_mismatch_sigma(p, nmos(16.0));
+  // 4x the area -> half the sigma.
+  EXPECT_NEAR(s1 / s2, 2.0, 1e-12);
+}
+
+TEST(Mismatch, SigmaUsesPolarityCoefficient) {
+  MismatchParams p;
+  p.avt_nmos = 1e-9;
+  p.avt_pmos = 2e-9;
+  device::MosInstance n = nmos(4.0);
+  device::MosInstance pm = n;
+  pm.type = device::MosType::kPmos;
+  EXPECT_NEAR(vth_mismatch_sigma(p, pm) / vth_mismatch_sigma(p, n), 2.0, 1e-12);
+}
+
+TEST(Mismatch, SampleIsDeterministic) {
+  const MismatchParams p = default_mismatch();
+  const auto inst = nmos(5.0);
+  const double a = sample_vth_shift(p, inst, "Mdown", 42, 7);
+  const double b = sample_vth_shift(p, inst, "Mdown", 42, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mismatch, DifferentDevicesGetIndependentShifts) {
+  const MismatchParams p = default_mismatch();
+  const auto inst = nmos(5.0);
+  EXPECT_NE(sample_vth_shift(p, inst, "Mdown", 42, 7),
+            sample_vth_shift(p, inst, "MdownBar", 42, 7));
+}
+
+TEST(Mismatch, DifferentSamplesGetIndependentShifts) {
+  const MismatchParams p = default_mismatch();
+  const auto inst = nmos(5.0);
+  EXPECT_NE(sample_vth_shift(p, inst, "Mdown", 42, 7), sample_vth_shift(p, inst, "Mdown", 42, 8));
+}
+
+TEST(Mismatch, PopulationStatisticsMatchSigma) {
+  const MismatchParams p = default_mismatch();
+  const auto inst = nmos(5.0);
+  util::RunningStats stats;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    stats.add(sample_vth_shift(p, inst, "Mdown", 123, i));
+  }
+  const double sigma = vth_mismatch_sigma(p, inst);
+  EXPECT_NEAR(stats.mean(), 0.0, sigma * 0.03);
+  EXPECT_NEAR(stats.stddev(), sigma, sigma * 0.03);
+}
+
+TEST(Mismatch, AppliesToEveryMosfetInNetlist) {
+  circuit::Netlist net;
+  const auto a = net.node("a");
+  net.add_mosfet("M1", nmos(5.0), a, a, circuit::kGround, circuit::kGround);
+  net.add_mosfet("M2", nmos(5.0), a, a, circuit::kGround, circuit::kGround);
+  apply_process_variation(net, default_mismatch(), 42, 0);
+  EXPECT_NE(net.mosfets()[0].inst.delta_vth, 0.0);
+  EXPECT_NE(net.mosfets()[1].inst.delta_vth, 0.0);
+  EXPECT_NE(net.mosfets()[0].inst.delta_vth, net.mosfets()[1].inst.delta_vth);
+}
+
+TEST(Mismatch, ApplicationAccumulates) {
+  circuit::Netlist net;
+  const auto a = net.node("a");
+  net.add_mosfet("M1", nmos(5.0), a, a, circuit::kGround, circuit::kGround);
+  apply_process_variation(net, default_mismatch(), 42, 0);
+  const double once = net.mosfets()[0].inst.delta_vth;
+  apply_process_variation(net, default_mismatch(), 42, 0);
+  EXPECT_NEAR(net.mosfets()[0].inst.delta_vth, 2.0 * once, 1e-15);
+}
+
+TEST(Mismatch, DeviceStreamIdIsStableHash) {
+  EXPECT_EQ(device_stream_id("Mdown"), device_stream_id("Mdown"));
+  EXPECT_NE(device_stream_id("Mdown"), device_stream_id("MdownBar"));
+  EXPECT_NE(device_stream_id(""), device_stream_id("M"));
+}
+
+TEST(Mismatch, CalibratedDefaultsAreInPaperRange) {
+  // The calibrated A_VT should put a 17.8 W/L device's sigma in single-digit
+  // millivolts (DESIGN.md section 5).
+  const double sigma = vth_mismatch_sigma(default_mismatch(), nmos(17.8));
+  EXPECT_GT(sigma, 3e-3);
+  EXPECT_LT(sigma, 20e-3);
+}
+
+}  // namespace
+}  // namespace issa::variation

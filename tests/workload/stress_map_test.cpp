@@ -1,0 +1,161 @@
+#include "issa/workload/stress_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "issa/sa/builder.hpp"
+#include "issa/workload/device_names.hpp"
+
+namespace issa::workload {
+namespace {
+
+namespace nm = names;
+
+TEST(NssaStressMap, CoversEveryNetlistTransistor) {
+  // Every non-parasitic device in the built NSSA netlist must have a stress
+  // profile (otherwise its aging would silently be skipped).
+  const auto map = nssa_stress_map(workload_from_name("80r0"), 1.0);
+  auto circuit = sa::build_nssa(sa::nominal_config());
+  for (const auto& m : circuit.netlist().mosfets()) {
+    EXPECT_TRUE(map.count(m.name) == 1) << "unmapped device " << m.name;
+  }
+}
+
+TEST(IssaStressMap, CoversEveryNetlistTransistor) {
+  const auto map = issa_stress_map(workload_from_name("80r0"), 1.0);
+  auto circuit = sa::build_issa(sa::nominal_config());
+  for (const auto& m : circuit.netlist().mosfets()) {
+    EXPECT_TRUE(map.count(m.name) == 1) << "unmapped device " << m.name;
+  }
+}
+
+TEST(NssaStressMap, AllProfilesValidate) {
+  for (const auto& w : paper_workloads()) {
+    const auto map = nssa_stress_map(w, 1.0);
+    for (const auto& [name, profile] : map) {
+      EXPECT_NO_THROW(profile.validate()) << name << " @ " << w.name();
+    }
+  }
+}
+
+TEST(IssaStressMap, AllProfilesValidate) {
+  for (const auto& w : paper_workloads()) {
+    const auto map = issa_stress_map(w, 1.0);
+    for (const auto& [name, profile] : map) {
+      EXPECT_NO_THROW(profile.validate()) << name << " @ " << w.name();
+    }
+  }
+}
+
+TEST(NssaStressMap, ReadingZerosStressesMdownAndMupBar) {
+  // Sec. III: "When mostly zeros are read, transistors Mdown and MupBar are
+  // the most stressed."  Full-Vdd stress duty, not the negligible half-Vdd
+  // idle bias.
+  const auto map = nssa_stress_map(workload_from_name("80r0"), 1.0);
+  auto full_vdd_duty = [&](std::string_view name) {
+    double d = 0.0;
+    for (const auto& ph : map.at(std::string(name)).phases()) {
+      if (ph.vstress >= 0.99) d += ph.fraction;
+    }
+    return d;
+  };
+  EXPECT_GT(full_vdd_duty(nm::kMdown), 0.3);
+  EXPECT_NEAR(full_vdd_duty(nm::kMdownBar), 0.0, 1e-12);
+  EXPECT_GT(full_vdd_duty(nm::kMupBar), 0.3);
+  EXPECT_NEAR(full_vdd_duty(nm::kMup), 0.0, 1e-12);
+}
+
+TEST(NssaStressMap, ReadingOnesMirrors) {
+  const auto r0 = nssa_stress_map(workload_from_name("80r0"), 1.0);
+  const auto r1 = nssa_stress_map(workload_from_name("80r1"), 1.0);
+  EXPECT_DOUBLE_EQ(r0.at(std::string(nm::kMdown)).duty(),
+                   r1.at(std::string(nm::kMdownBar)).duty());
+  EXPECT_DOUBLE_EQ(r0.at(std::string(nm::kMupBar)).duty(),
+                   r1.at(std::string(nm::kMup)).duty());
+}
+
+TEST(NssaStressMap, BalancedWorkloadIsSymmetric) {
+  const auto map = nssa_stress_map(workload_from_name("80r0r1"), 1.0);
+  EXPECT_DOUBLE_EQ(map.at(std::string(nm::kMdown)).duty(),
+                   map.at(std::string(nm::kMdownBar)).duty());
+  EXPECT_DOUBLE_EQ(map.at(std::string(nm::kMup)).duty(),
+                   map.at(std::string(nm::kMupBar)).duty());
+}
+
+TEST(NssaStressMap, ActivationRateScalesAmpDuty) {
+  const auto hi = nssa_stress_map(workload_from_name("80r0"), 1.0);
+  const auto lo = nssa_stress_map(workload_from_name("20r0"), 1.0);
+  auto amp_duty = [](const aging::StressProfile& p) {
+    double d = 0.0;
+    for (const auto& ph : p.phases()) {
+      if (ph.vstress >= 0.99) d += ph.fraction;
+    }
+    return d;
+  };
+  EXPECT_NEAR(amp_duty(hi.at(std::string(nm::kMdown))) / amp_duty(lo.at(std::string(nm::kMdown))),
+              4.0, 1e-9);
+}
+
+TEST(IssaStressMap, CoreIsAlwaysBalancedInternally) {
+  // The headline mechanism: the ISSA core sees a balanced workload no matter
+  // the external sequence.
+  for (const char* name : {"80r0", "80r1", "80r0r1"}) {
+    const auto map = issa_stress_map(workload_from_name(name), 1.0);
+    EXPECT_DOUBLE_EQ(map.at(std::string(nm::kMdown)).duty(),
+                     map.at(std::string(nm::kMdownBar)).duty())
+        << name;
+    EXPECT_DOUBLE_EQ(map.at(std::string(nm::kMup)).duty(),
+                     map.at(std::string(nm::kMupBar)).duty())
+        << name;
+  }
+}
+
+TEST(IssaStressMap, AllSameRateWorkloadsCompileToSameMap) {
+  // "for the ISSA all three workloads 80r0, 80r1, and 80r0r1 are compiled by
+  // the design-for-reliability scheme into the same balanced workload".
+  const auto a = issa_stress_map(workload_from_name("80r0"), 1.0);
+  const auto b = issa_stress_map(workload_from_name("80r1"), 1.0);
+  for (const auto& [name, profile] : a) {
+    const auto& other = b.at(name);
+    ASSERT_EQ(profile.phases().size(), other.phases().size()) << name;
+    for (std::size_t i = 0; i < profile.phases().size(); ++i) {
+      EXPECT_DOUBLE_EQ(profile.phases()[i].fraction, other.phases()[i].fraction) << name;
+      EXPECT_DOUBLE_EQ(profile.phases()[i].vstress, other.phases()[i].vstress) << name;
+    }
+  }
+}
+
+TEST(IssaStressMap, PassPairsShareHalfTheDuty) {
+  const auto issa = issa_stress_map(workload_from_name("80r0"), 1.0);
+  const auto nssa = nssa_stress_map(workload_from_name("80r0"), 1.0);
+  const double nssa_pass = nssa.at(std::string(nm::kMpass)).duty();
+  for (const auto name : {nm::kM1, nm::kM2, nm::kM3, nm::kM4}) {
+    EXPECT_NEAR(issa.at(std::string(name)).duty(), 0.5 * nssa_pass, 1e-12);
+  }
+}
+
+TEST(IssaStressMap, ResidualImbalanceKnobWorks) {
+  // The ablation entry point: an imperfectly balanced internal workload
+  // re-introduces asymmetric duty on the core.
+  const auto skewed = issa_stress_map_with_internal_balance(workload_from_name("80r0"), 1.0, 0.7);
+  auto amp_duty = [](const aging::StressProfile& p) {
+    double d = 0.0;
+    for (const auto& ph : p.phases()) {
+      if (ph.vstress >= 0.99) d += ph.fraction;
+    }
+    return d;
+  };
+  EXPECT_GT(amp_duty(skewed.at(std::string(nm::kMdown))),
+            amp_duty(skewed.at(std::string(nm::kMdownBar))));
+}
+
+TEST(StressMap, VddScalesStressVoltage) {
+  const auto map = nssa_stress_map(workload_from_name("80r0"), 1.1);
+  double max_v = 0.0;
+  for (const auto& ph : map.at(std::string(nm::kMdown)).phases()) {
+    max_v = std::max(max_v, ph.vstress);
+  }
+  EXPECT_DOUBLE_EQ(max_v, 1.1);
+}
+
+}  // namespace
+}  // namespace issa::workload

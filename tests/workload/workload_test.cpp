@@ -1,0 +1,83 @@
+#include "issa/workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "issa/workload/bitstream.hpp"
+
+namespace issa::workload {
+namespace {
+
+TEST(Workload, NameRoundTrip) {
+  for (const char* name : {"80r0r1", "80r0", "80r1", "20r0r1", "20r0", "20r1", "50r0"}) {
+    EXPECT_EQ(workload_from_name(name).name(), name);
+  }
+}
+
+TEST(Workload, FractionsMatchSequence) {
+  EXPECT_DOUBLE_EQ(workload_from_name("80r0r1").one_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(workload_from_name("80r0").one_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(workload_from_name("80r1").one_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(workload_from_name("80r0").zero_fraction(), 1.0);
+}
+
+TEST(Workload, ActivationRateParsed) {
+  EXPECT_DOUBLE_EQ(workload_from_name("80r0").activation_rate, 0.8);
+  EXPECT_DOUBLE_EQ(workload_from_name("20r1").activation_rate, 0.2);
+  EXPECT_DOUBLE_EQ(workload_from_name("5r0").activation_rate, 0.05);
+}
+
+TEST(Workload, RejectsBadNames) {
+  EXPECT_THROW(workload_from_name(""), std::invalid_argument);
+  EXPECT_THROW(workload_from_name("r0"), std::invalid_argument);
+  EXPECT_THROW(workload_from_name("80"), std::invalid_argument);
+  EXPECT_THROW(workload_from_name("80rx"), std::invalid_argument);
+  EXPECT_THROW(workload_from_name("0r0"), std::invalid_argument);
+  EXPECT_THROW(workload_from_name("101r0"), std::invalid_argument);
+}
+
+TEST(Workload, PaperListMatchesSectionIVA) {
+  const auto all = paper_workloads();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name(), "80r0r1");
+  EXPECT_EQ(all[5].name(), "20r1");
+  const auto eighty = paper_workloads_80();
+  ASSERT_EQ(eighty.size(), 3u);
+  for (const auto& w : eighty) EXPECT_DOUBLE_EQ(w.activation_rate, 0.8);
+}
+
+TEST(Workload, EqualityOperator) {
+  EXPECT_EQ(workload_from_name("80r0"), workload_from_name("80r0"));
+  EXPECT_NE(workload_from_name("80r0"), workload_from_name("20r0"));
+}
+
+TEST(Bitstream, ConstantStreams) {
+  const auto zeros = generate_read_stream(workload_from_name("80r0"), 100, 1);
+  const auto ones = generate_read_stream(workload_from_name("80r1"), 100, 1);
+  for (bool b : zeros) EXPECT_FALSE(b);
+  for (bool b : ones) EXPECT_TRUE(b);
+}
+
+TEST(Bitstream, BalancedStreamIsFair) {
+  const auto bits = generate_read_stream(workload_from_name("80r0r1"), 100000, 5);
+  std::size_t ones = 0;
+  for (bool b : bits) ones += b ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / 100000.0, 0.5, 0.01);
+}
+
+TEST(Bitstream, DeterministicInSeed) {
+  const auto a = generate_read_stream(workload_from_name("80r0r1"), 1000, 7);
+  const auto b = generate_read_stream(workload_from_name("80r0r1"), 1000, 7);
+  EXPECT_EQ(a, b);
+  const auto c = generate_read_stream(workload_from_name("80r0r1"), 1000, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Bitstream, AdversarialBlocksAlternate) {
+  const auto bits = adversarial_block_stream(16, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(bits[i]);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_TRUE(bits[i]);
+  for (std::size_t i = 8; i < 12; ++i) EXPECT_FALSE(bits[i]);
+}
+
+}  // namespace
+}  // namespace issa::workload
