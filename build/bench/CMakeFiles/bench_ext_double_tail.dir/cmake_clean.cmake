@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_double_tail.dir/bench_ext_double_tail.cpp.o"
+  "CMakeFiles/bench_ext_double_tail.dir/bench_ext_double_tail.cpp.o.d"
+  "bench_ext_double_tail"
+  "bench_ext_double_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_double_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

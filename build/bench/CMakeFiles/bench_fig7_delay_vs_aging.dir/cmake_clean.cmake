@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_delay_vs_aging.dir/bench_fig7_delay_vs_aging.cpp.o"
+  "CMakeFiles/bench_fig7_delay_vs_aging.dir/bench_fig7_delay_vs_aging.cpp.o.d"
+  "bench_fig7_delay_vs_aging"
+  "bench_fig7_delay_vs_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_delay_vs_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

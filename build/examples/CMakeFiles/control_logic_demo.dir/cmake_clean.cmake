@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_logic_demo.dir/control_logic_demo.cpp.o"
+  "CMakeFiles/control_logic_demo.dir/control_logic_demo.cpp.o.d"
+  "control_logic_demo"
+  "control_logic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_logic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

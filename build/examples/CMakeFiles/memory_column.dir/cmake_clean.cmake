@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_column.dir/memory_column.cpp.o"
+  "CMakeFiles/memory_column.dir/memory_column.cpp.o.d"
+  "memory_column"
+  "memory_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("issa/util")
+subdirs("issa/linalg")
+subdirs("issa/device")
+subdirs("issa/circuit")
+subdirs("issa/variation")
+subdirs("issa/aging")
+subdirs("issa/digital")
+subdirs("issa/workload")
+subdirs("issa/sa")
+subdirs("issa/analysis")
+subdirs("issa/mem")
+subdirs("issa/core")

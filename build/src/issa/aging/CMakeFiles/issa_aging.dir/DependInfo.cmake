@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/aging/bti_model.cpp" "src/issa/aging/CMakeFiles/issa_aging.dir/bti_model.cpp.o" "gcc" "src/issa/aging/CMakeFiles/issa_aging.dir/bti_model.cpp.o.d"
+  "/root/repo/src/issa/aging/bti_params.cpp" "src/issa/aging/CMakeFiles/issa_aging.dir/bti_params.cpp.o" "gcc" "src/issa/aging/CMakeFiles/issa_aging.dir/bti_params.cpp.o.d"
+  "/root/repo/src/issa/aging/hci.cpp" "src/issa/aging/CMakeFiles/issa_aging.dir/hci.cpp.o" "gcc" "src/issa/aging/CMakeFiles/issa_aging.dir/hci.cpp.o.d"
+  "/root/repo/src/issa/aging/stress.cpp" "src/issa/aging/CMakeFiles/issa_aging.dir/stress.cpp.o" "gcc" "src/issa/aging/CMakeFiles/issa_aging.dir/stress.cpp.o.d"
+  "/root/repo/src/issa/aging/trap.cpp" "src/issa/aging/CMakeFiles/issa_aging.dir/trap.cpp.o" "gcc" "src/issa/aging/CMakeFiles/issa_aging.dir/trap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/circuit/CMakeFiles/issa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/variation/CMakeFiles/issa_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/issa/aging/CMakeFiles/issa_aging.dir/bti_params.cpp.o: \
+ /root/repo/src/issa/aging/bti_params.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/issa/aging/bti_params.hpp

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_aging.dir/bti_model.cpp.o"
+  "CMakeFiles/issa_aging.dir/bti_model.cpp.o.d"
+  "CMakeFiles/issa_aging.dir/bti_params.cpp.o"
+  "CMakeFiles/issa_aging.dir/bti_params.cpp.o.d"
+  "CMakeFiles/issa_aging.dir/hci.cpp.o"
+  "CMakeFiles/issa_aging.dir/hci.cpp.o.d"
+  "CMakeFiles/issa_aging.dir/stress.cpp.o"
+  "CMakeFiles/issa_aging.dir/stress.cpp.o.d"
+  "CMakeFiles/issa_aging.dir/trap.cpp.o"
+  "CMakeFiles/issa_aging.dir/trap.cpp.o.d"
+  "libissa_aging.a"
+  "libissa_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_analysis.dir/montecarlo.cpp.o"
+  "CMakeFiles/issa_analysis.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/issa_analysis.dir/spec.cpp.o"
+  "CMakeFiles/issa_analysis.dir/spec.cpp.o.d"
+  "CMakeFiles/issa_analysis.dir/yield.cpp.o"
+  "CMakeFiles/issa_analysis.dir/yield.cpp.o.d"
+  "libissa_analysis.a"
+  "libissa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

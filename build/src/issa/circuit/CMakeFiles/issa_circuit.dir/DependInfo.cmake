@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/circuit/netlist.cpp" "src/issa/circuit/CMakeFiles/issa_circuit.dir/netlist.cpp.o" "gcc" "src/issa/circuit/CMakeFiles/issa_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/issa/circuit/parser.cpp" "src/issa/circuit/CMakeFiles/issa_circuit.dir/parser.cpp.o" "gcc" "src/issa/circuit/CMakeFiles/issa_circuit.dir/parser.cpp.o.d"
+  "/root/repo/src/issa/circuit/simulator.cpp" "src/issa/circuit/CMakeFiles/issa_circuit.dir/simulator.cpp.o" "gcc" "src/issa/circuit/CMakeFiles/issa_circuit.dir/simulator.cpp.o.d"
+  "/root/repo/src/issa/circuit/waveform.cpp" "src/issa/circuit/CMakeFiles/issa_circuit.dir/waveform.cpp.o" "gcc" "src/issa/circuit/CMakeFiles/issa_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

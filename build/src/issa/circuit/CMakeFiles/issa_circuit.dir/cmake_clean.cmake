@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/issa_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/issa_circuit.dir/parser.cpp.o"
+  "CMakeFiles/issa_circuit.dir/parser.cpp.o.d"
+  "CMakeFiles/issa_circuit.dir/simulator.cpp.o"
+  "CMakeFiles/issa_circuit.dir/simulator.cpp.o.d"
+  "CMakeFiles/issa_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/issa_circuit.dir/waveform.cpp.o.d"
+  "libissa_circuit.a"
+  "libissa_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

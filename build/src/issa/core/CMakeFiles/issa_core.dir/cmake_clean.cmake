@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_core.dir/experiment.cpp.o"
+  "CMakeFiles/issa_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/issa_core.dir/guardband.cpp.o"
+  "CMakeFiles/issa_core.dir/guardband.cpp.o.d"
+  "libissa_core.a"
+  "libissa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_device.dir/mos_params.cpp.o"
+  "CMakeFiles/issa_device.dir/mos_params.cpp.o.d"
+  "CMakeFiles/issa_device.dir/mosfet.cpp.o"
+  "CMakeFiles/issa_device.dir/mosfet.cpp.o.d"
+  "libissa_device.a"
+  "libissa_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/digital/control.cpp" "src/issa/digital/CMakeFiles/issa_digital.dir/control.cpp.o" "gcc" "src/issa/digital/CMakeFiles/issa_digital.dir/control.cpp.o.d"
+  "/root/repo/src/issa/digital/event_sim.cpp" "src/issa/digital/CMakeFiles/issa_digital.dir/event_sim.cpp.o" "gcc" "src/issa/digital/CMakeFiles/issa_digital.dir/event_sim.cpp.o.d"
+  "/root/repo/src/issa/digital/gate_counter.cpp" "src/issa/digital/CMakeFiles/issa_digital.dir/gate_counter.cpp.o" "gcc" "src/issa/digital/CMakeFiles/issa_digital.dir/gate_counter.cpp.o.d"
+  "/root/repo/src/issa/digital/logic.cpp" "src/issa/digital/CMakeFiles/issa_digital.dir/logic.cpp.o" "gcc" "src/issa/digital/CMakeFiles/issa_digital.dir/logic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/circuit/CMakeFiles/issa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

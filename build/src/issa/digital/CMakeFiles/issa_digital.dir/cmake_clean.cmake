@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_digital.dir/control.cpp.o"
+  "CMakeFiles/issa_digital.dir/control.cpp.o.d"
+  "CMakeFiles/issa_digital.dir/event_sim.cpp.o"
+  "CMakeFiles/issa_digital.dir/event_sim.cpp.o.d"
+  "CMakeFiles/issa_digital.dir/gate_counter.cpp.o"
+  "CMakeFiles/issa_digital.dir/gate_counter.cpp.o.d"
+  "CMakeFiles/issa_digital.dir/logic.cpp.o"
+  "CMakeFiles/issa_digital.dir/logic.cpp.o.d"
+  "libissa_digital.a"
+  "libissa_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_linalg.dir/lu.cpp.o"
+  "CMakeFiles/issa_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/issa_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/issa_linalg.dir/matrix.cpp.o.d"
+  "libissa_linalg.a"
+  "libissa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

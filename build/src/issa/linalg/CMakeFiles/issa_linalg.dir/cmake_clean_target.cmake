@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libissa_linalg.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_mem.dir/array.cpp.o"
+  "CMakeFiles/issa_mem.dir/array.cpp.o.d"
+  "CMakeFiles/issa_mem.dir/bitline.cpp.o"
+  "CMakeFiles/issa_mem.dir/bitline.cpp.o.d"
+  "CMakeFiles/issa_mem.dir/column.cpp.o"
+  "CMakeFiles/issa_mem.dir/column.cpp.o.d"
+  "CMakeFiles/issa_mem.dir/overhead.cpp.o"
+  "CMakeFiles/issa_mem.dir/overhead.cpp.o.d"
+  "CMakeFiles/issa_mem.dir/sram_cell.cpp.o"
+  "CMakeFiles/issa_mem.dir/sram_cell.cpp.o.d"
+  "libissa_mem.a"
+  "libissa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/sa/builder.cpp" "src/issa/sa/CMakeFiles/issa_sa.dir/builder.cpp.o" "gcc" "src/issa/sa/CMakeFiles/issa_sa.dir/builder.cpp.o.d"
+  "/root/repo/src/issa/sa/config.cpp" "src/issa/sa/CMakeFiles/issa_sa.dir/config.cpp.o" "gcc" "src/issa/sa/CMakeFiles/issa_sa.dir/config.cpp.o.d"
+  "/root/repo/src/issa/sa/double_tail.cpp" "src/issa/sa/CMakeFiles/issa_sa.dir/double_tail.cpp.o" "gcc" "src/issa/sa/CMakeFiles/issa_sa.dir/double_tail.cpp.o.d"
+  "/root/repo/src/issa/sa/measure.cpp" "src/issa/sa/CMakeFiles/issa_sa.dir/measure.cpp.o" "gcc" "src/issa/sa/CMakeFiles/issa_sa.dir/measure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/circuit/CMakeFiles/issa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/digital/CMakeFiles/issa_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/workload/CMakeFiles/issa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/aging/CMakeFiles/issa_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/variation/CMakeFiles/issa_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

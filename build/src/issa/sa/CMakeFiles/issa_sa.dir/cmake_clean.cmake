@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_sa.dir/builder.cpp.o"
+  "CMakeFiles/issa_sa.dir/builder.cpp.o.d"
+  "CMakeFiles/issa_sa.dir/config.cpp.o"
+  "CMakeFiles/issa_sa.dir/config.cpp.o.d"
+  "CMakeFiles/issa_sa.dir/double_tail.cpp.o"
+  "CMakeFiles/issa_sa.dir/double_tail.cpp.o.d"
+  "CMakeFiles/issa_sa.dir/measure.cpp.o"
+  "CMakeFiles/issa_sa.dir/measure.cpp.o.d"
+  "libissa_sa.a"
+  "libissa_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,5 @@
+src/issa/sa/CMakeFiles/issa_sa.dir/config.cpp.o: \
+ /root/repo/src/issa/sa/config.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/issa/sa/config.hpp \
+ /root/repo/src/issa/device/mos_params.hpp \
+ /root/repo/src/issa/util/units.hpp

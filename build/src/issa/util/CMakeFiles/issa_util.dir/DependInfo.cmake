@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/util/cli.cpp" "src/issa/util/CMakeFiles/issa_util.dir/cli.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/cli.cpp.o.d"
+  "/root/repo/src/issa/util/csv.cpp" "src/issa/util/CMakeFiles/issa_util.dir/csv.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/csv.cpp.o.d"
+  "/root/repo/src/issa/util/normal.cpp" "src/issa/util/CMakeFiles/issa_util.dir/normal.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/normal.cpp.o.d"
+  "/root/repo/src/issa/util/rng.cpp" "src/issa/util/CMakeFiles/issa_util.dir/rng.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/rng.cpp.o.d"
+  "/root/repo/src/issa/util/statistics.cpp" "src/issa/util/CMakeFiles/issa_util.dir/statistics.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/statistics.cpp.o.d"
+  "/root/repo/src/issa/util/table.cpp" "src/issa/util/CMakeFiles/issa_util.dir/table.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/table.cpp.o.d"
+  "/root/repo/src/issa/util/thread_pool.cpp" "src/issa/util/CMakeFiles/issa_util.dir/thread_pool.cpp.o" "gcc" "src/issa/util/CMakeFiles/issa_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_util.dir/cli.cpp.o"
+  "CMakeFiles/issa_util.dir/cli.cpp.o.d"
+  "CMakeFiles/issa_util.dir/csv.cpp.o"
+  "CMakeFiles/issa_util.dir/csv.cpp.o.d"
+  "CMakeFiles/issa_util.dir/normal.cpp.o"
+  "CMakeFiles/issa_util.dir/normal.cpp.o.d"
+  "CMakeFiles/issa_util.dir/rng.cpp.o"
+  "CMakeFiles/issa_util.dir/rng.cpp.o.d"
+  "CMakeFiles/issa_util.dir/statistics.cpp.o"
+  "CMakeFiles/issa_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/issa_util.dir/table.cpp.o"
+  "CMakeFiles/issa_util.dir/table.cpp.o.d"
+  "CMakeFiles/issa_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/issa_util.dir/thread_pool.cpp.o.d"
+  "libissa_util.a"
+  "libissa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

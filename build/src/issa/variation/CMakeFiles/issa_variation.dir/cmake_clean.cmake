@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_variation.dir/mismatch.cpp.o"
+  "CMakeFiles/issa_variation.dir/mismatch.cpp.o.d"
+  "libissa_variation.a"
+  "libissa_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

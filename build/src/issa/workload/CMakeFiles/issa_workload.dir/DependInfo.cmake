@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/issa/workload/bitstream.cpp" "src/issa/workload/CMakeFiles/issa_workload.dir/bitstream.cpp.o" "gcc" "src/issa/workload/CMakeFiles/issa_workload.dir/bitstream.cpp.o.d"
+  "/root/repo/src/issa/workload/hci_map.cpp" "src/issa/workload/CMakeFiles/issa_workload.dir/hci_map.cpp.o" "gcc" "src/issa/workload/CMakeFiles/issa_workload.dir/hci_map.cpp.o.d"
+  "/root/repo/src/issa/workload/stress_map.cpp" "src/issa/workload/CMakeFiles/issa_workload.dir/stress_map.cpp.o" "gcc" "src/issa/workload/CMakeFiles/issa_workload.dir/stress_map.cpp.o.d"
+  "/root/repo/src/issa/workload/workload.cpp" "src/issa/workload/CMakeFiles/issa_workload.dir/workload.cpp.o" "gcc" "src/issa/workload/CMakeFiles/issa_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/aging/CMakeFiles/issa_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/digital/CMakeFiles/issa_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/variation/CMakeFiles/issa_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/circuit/CMakeFiles/issa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

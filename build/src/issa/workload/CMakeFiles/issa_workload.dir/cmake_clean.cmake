@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_workload.dir/bitstream.cpp.o"
+  "CMakeFiles/issa_workload.dir/bitstream.cpp.o.d"
+  "CMakeFiles/issa_workload.dir/hci_map.cpp.o"
+  "CMakeFiles/issa_workload.dir/hci_map.cpp.o.d"
+  "CMakeFiles/issa_workload.dir/stress_map.cpp.o"
+  "CMakeFiles/issa_workload.dir/stress_map.cpp.o.d"
+  "CMakeFiles/issa_workload.dir/workload.cpp.o"
+  "CMakeFiles/issa_workload.dir/workload.cpp.o.d"
+  "libissa_workload.a"
+  "libissa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bti_model_test.dir/aging/bti_model_test.cpp.o"
+  "CMakeFiles/bti_model_test.dir/aging/bti_model_test.cpp.o.d"
+  "bti_model_test"
+  "bti_model_test.pdb"
+  "bti_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bti_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/double_tail_test.dir/sa/double_tail_test.cpp.o"
+  "CMakeFiles/double_tail_test.dir/sa/double_tail_test.cpp.o.d"
+  "double_tail_test"
+  "double_tail_test.pdb"
+  "double_tail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/double_tail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_counter_test.dir/digital/gate_counter_test.cpp.o"
+  "CMakeFiles/gate_counter_test.dir/digital/gate_counter_test.cpp.o.d"
+  "gate_counter_test"
+  "gate_counter_test.pdb"
+  "gate_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

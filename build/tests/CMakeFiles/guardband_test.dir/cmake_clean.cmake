@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guardband_test.dir/core/guardband_test.cpp.o"
+  "CMakeFiles/guardband_test.dir/core/guardband_test.cpp.o.d"
+  "guardband_test"
+  "guardband_test.pdb"
+  "guardband_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guardband_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hci_test.dir/aging/hci_test.cpp.o"
+  "CMakeFiles/hci_test.dir/aging/hci_test.cpp.o.d"
+  "hci_test"
+  "hci_test.pdb"
+  "hci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mismatch_test.dir/variation/mismatch_test.cpp.o"
+  "CMakeFiles/mismatch_test.dir/variation/mismatch_test.cpp.o.d"
+  "mismatch_test"
+  "mismatch_test.pdb"
+  "mismatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mismatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mismatch_test.
+# This may be replaced when dependencies are built.

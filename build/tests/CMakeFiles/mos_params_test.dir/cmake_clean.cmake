@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mos_params_test.dir/device/mos_params_test.cpp.o"
+  "CMakeFiles/mos_params_test.dir/device/mos_params_test.cpp.o.d"
+  "mos_params_test"
+  "mos_params_test.pdb"
+  "mos_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mos_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

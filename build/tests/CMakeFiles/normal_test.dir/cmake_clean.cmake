@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normal_test.dir/util/normal_test.cpp.o"
+  "CMakeFiles/normal_test.dir/util/normal_test.cpp.o.d"
+  "normal_test"
+  "normal_test.pdb"
+  "normal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_builder_test.dir/sa/builder_test.cpp.o"
+  "CMakeFiles/sa_builder_test.dir/sa/builder_test.cpp.o.d"
+  "sa_builder_test"
+  "sa_builder_test.pdb"
+  "sa_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

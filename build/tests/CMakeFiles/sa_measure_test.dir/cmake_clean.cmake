@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_measure_test.dir/sa/measure_test.cpp.o"
+  "CMakeFiles/sa_measure_test.dir/sa/measure_test.cpp.o.d"
+  "sa_measure_test"
+  "sa_measure_test.pdb"
+  "sa_measure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

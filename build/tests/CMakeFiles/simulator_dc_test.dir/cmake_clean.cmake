@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_dc_test.dir/circuit/simulator_dc_test.cpp.o"
+  "CMakeFiles/simulator_dc_test.dir/circuit/simulator_dc_test.cpp.o.d"
+  "simulator_dc_test"
+  "simulator_dc_test.pdb"
+  "simulator_dc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_dc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_tran_test.dir/circuit/simulator_tran_test.cpp.o"
+  "CMakeFiles/simulator_tran_test.dir/circuit/simulator_tran_test.cpp.o.d"
+  "simulator_tran_test"
+  "simulator_tran_test.pdb"
+  "simulator_tran_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_tran_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

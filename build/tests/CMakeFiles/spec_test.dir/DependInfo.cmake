@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/spec_test.cpp" "tests/CMakeFiles/spec_test.dir/analysis/spec_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/analysis/spec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/issa/core/CMakeFiles/issa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/analysis/CMakeFiles/issa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/mem/CMakeFiles/issa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/sa/CMakeFiles/issa_sa.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/workload/CMakeFiles/issa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/digital/CMakeFiles/issa_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/aging/CMakeFiles/issa_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/variation/CMakeFiles/issa_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/circuit/CMakeFiles/issa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/device/CMakeFiles/issa_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/linalg/CMakeFiles/issa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/issa/util/CMakeFiles/issa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_map_test.dir/workload/stress_map_test.cpp.o"
+  "CMakeFiles/stress_map_test.dir/workload/stress_map_test.cpp.o.d"
+  "stress_map_test"
+  "stress_map_test.pdb"
+  "stress_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

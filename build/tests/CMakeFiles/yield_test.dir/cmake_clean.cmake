@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_test.dir/analysis/yield_test.cpp.o"
+  "CMakeFiles/yield_test.dir/analysis/yield_test.cpp.o.d"
+  "yield_test"
+  "yield_test.pdb"
+  "yield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issa_calibrate.dir/calib.cpp.o"
+  "CMakeFiles/issa_calibrate.dir/calib.cpp.o.d"
+  "issa_calibrate"
+  "issa_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issa_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
