@@ -11,9 +11,61 @@
 #include "issa/analysis/montecarlo.hpp"
 #include "issa/core/experiment.hpp"
 #include "issa/util/cli.hpp"
+#include "issa/util/metrics.hpp"
 #include "issa/util/table.hpp"
 
 namespace issa::bench {
+
+/// Turns metrics collection on when --metrics (or ISSA_METRICS=1) was given
+/// and emits the report sidecars when the bench finishes (RAII: the
+/// destructor emits, so early returns still produce a report):
+///   <stem>.metrics.json / .csv      whole-run registry snapshot
+///   <stem>.conditions.json / .csv   per-condition breakdown (attach_rows)
+/// The stem defaults to the bench name; --metrics=stem overrides it.
+class MetricsSession {
+ public:
+  MetricsSession(const util::Options& options, std::string_view bench_name)
+      : stem_(util::metrics_report_stem(options, bench_name)),
+        title_(bench_name),
+        active_(util::metrics_requested(options)) {
+    if (active_) util::metrics::set_enabled(true);
+  }
+
+  /// Attaches per-condition experiment rows for the breakdown report.
+  void attach_rows(std::vector<core::ExperimentRow> rows) { rows_ = std::move(rows); }
+
+  void emit() {
+    if (!active_ || emitted_) return;
+    emitted_ = true;
+    const util::metrics::Snapshot snapshot = util::metrics::Registry::instance().snapshot();
+    util::metrics::write_report_json(stem_ + ".metrics.json", title_, snapshot);
+    util::metrics::write_report_csv(stem_ + ".metrics.csv", snapshot);
+    std::cout << "wrote " << stem_ << ".metrics.json / .csv\n";
+    if (!rows_.empty()) {
+      core::write_run_report_json(stem_ + ".conditions.json", title_, rows_);
+      core::write_run_report_csv(stem_ + ".conditions.csv", rows_);
+      std::cout << "wrote " << stem_ << ".conditions.json / .csv\n";
+    }
+  }
+
+  ~MetricsSession() {
+    try {
+      emit();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics report failed: %s\n", e.what());
+    }
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+ private:
+  std::string stem_;
+  std::string title_;
+  bool active_ = false;
+  bool emitted_ = false;
+  std::vector<core::ExperimentRow> rows_;
+};
 
 /// Paper reference values for one experiment row (mV / mV / mV / ps).
 struct PaperRow {

@@ -15,6 +15,7 @@ using namespace issa;
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+  bench::MetricsSession metrics(options, "bench_fig7_delay_vs_aging");
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Fig. 7 (delay vs aging at 125 C), MC = " << runner.mc().iterations

@@ -3,6 +3,10 @@
 // transient, offset bisection, and trap-set construction.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "issa/aging/bti_model.hpp"
 #include "issa/circuit/simulator.hpp"
 #include "issa/device/mosfet.hpp"
@@ -104,4 +108,21 @@ BENCHMARK(BM_BtiSampleShift);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so --metrics works here too; the
+// flag is stripped before benchmark::Initialize (which rejects unknown args).
+int main(int argc, char** argv) {
+  const issa::util::Options options(argc, argv);
+  issa::bench::MetricsSession metrics(options, "bench_kernels");
+
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--metrics", 0) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

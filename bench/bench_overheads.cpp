@@ -13,6 +13,7 @@ using namespace issa;
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+  bench::MetricsSession metrics(options, "bench_overheads");
 
   std::cout << "Reproducing Sec. IV-C overhead discussion\n\n";
 

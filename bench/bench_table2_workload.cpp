@@ -11,12 +11,14 @@ using namespace issa;
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+  bench::MetricsSession metrics(options, "bench_table2_workload");
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Table II / Fig. 4 (workload impact), MC = "
             << runner.mc().iterations << " iterations\n\n";
 
   const auto rows = runner.table2_workload();
+  metrics.attach_rows(rows);
 
   // Paper Table II reference values in the same row order.
   const std::vector<std::optional<bench::PaperRow>> paper = {

@@ -12,12 +12,14 @@ using namespace issa;
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+  bench::MetricsSession metrics(options, "bench_table3_voltage");
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Table III / Fig. 5 (supply-voltage impact), MC = "
             << runner.mc().iterations << " iterations\n\n";
 
   const auto rows = runner.table3_voltage();
+  metrics.attach_rows(rows);
 
   // Paper Table III reference values in row order (supply column added).
   const std::vector<std::optional<bench::PaperRow>> paper = {

@@ -11,12 +11,14 @@ using namespace issa;
 
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
+  bench::MetricsSession metrics(options, "bench_table4_temperature");
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Table IV / Fig. 6 (temperature impact), MC = "
             << runner.mc().iterations << " iterations\n\n";
 
   const auto rows = runner.table4_temperature();
+  metrics.attach_rows(rows);
 
   // Paper Table IV reference values in row order (temperature column added).
   const std::vector<std::optional<bench::PaperRow>> paper = {

@@ -1,16 +1,21 @@
 // Quickstart: build a sense amplifier, give it process variation, and
 // measure its two figures of merit — offset voltage and sensing delay.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--metrics[=stem]]
 #include <cstdio>
 
 #include "issa/sa/builder.hpp"
 #include "issa/sa/measure.hpp"
+#include "issa/util/cli.hpp"
+#include "issa/util/metrics.hpp"
 #include "issa/util/units.hpp"
 #include "issa/variation/mismatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace issa;
+
+  const util::Options options(argc, argv);
+  if (util::metrics_requested(options)) util::metrics::set_enabled(true);
 
   // 1. A testbench for the standard latch-type SA of the paper's Fig. 1,
   //    at nominal conditions (Vdd = 1.0 V, 25 C, PTM-45-like devices).
@@ -41,5 +46,21 @@ int main() {
   std::printf("ISSA offset    : %+.2f mV\n", util::to_mV(sa::measure_offset(issa).offset));
   std::printf("ISSA delay     : %.2f ps (overhead of the extra pass pair)\n",
               util::to_ps(sa::measure_delay(issa).worst()));
+
+  // 6. With --metrics: dump the solver work this run cost (Newton iterations,
+  //    LU factorizations, ...) as JSON + CSV sidecars.
+  if (util::metrics::enabled()) {
+    const std::string stem = util::metrics_report_stem(options, "quickstart");
+    const util::metrics::Snapshot snapshot = util::metrics::Registry::instance().snapshot();
+    std::printf("\n%s", util::metrics::to_table(snapshot).c_str());
+    try {
+      util::metrics::write_report_json(stem + ".metrics.json", "quickstart", snapshot);
+      util::metrics::write_report_csv(stem + ".metrics.csv", snapshot);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "metrics report failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s.metrics.json / .csv\n", stem.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Guards the "zero overhead when disabled" promise of the metrics layer:
+# builds the default tree (metrics compiled in, runtime-off) and a
+# -DISSA_METRICS=OFF tree, runs the hot-path kernel benchmarks in both, and
+# fails if the default build is more than TOLERANCE_PCT slower.
+#
+#   $ scripts/check_metrics_overhead.sh
+#
+# Environment overrides:
+#   TOLERANCE_PCT   allowed regression in percent        (default 1)
+#   BENCH_FILTER    google-benchmark --benchmark_filter  (default hot kernels)
+#   REPETITIONS     --benchmark_repetitions per round    (default 5)
+#   ROUNDS          alternating off/on rounds            (default 3)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+TOLERANCE_PCT="${TOLERANCE_PCT:-1}"
+BENCH_FILTER="${BENCH_FILTER:-BM_MosfetEval|BM_LuFactorizeSolve|BM_SenseAmpDcSolve}"
+REPETITIONS="${REPETITIONS:-5}"
+ROUNDS="${ROUNDS:-3}"
+
+build_tree() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+  cmake --build "$dir" --target bench_kernels -j "$(nproc)" >/dev/null
+}
+
+run_bench() {
+  # Appends raw "name cpu_ns" lines for every repetition to $out; the caller
+  # reduces with a min over all rounds (min is the noise-robust floor for
+  # micro-benchmarks — scheduler interference only ever adds time).
+  local binary="$1" out="$2"
+  "$binary" --benchmark_filter="$BENCH_FILTER" \
+    --benchmark_repetitions="$REPETITIONS" \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_format=csv 2>/dev/null |
+    awk -F, '
+      /^"?BM_/ {
+        name = $1; gsub(/"/, "", name)
+        sub(/\/.*$/, "", name)                       # strip /arg suffix
+        if (name ~ /_(mean|median|stddev|cv)$/) next  # raw repetitions only
+        cpu = $4 + 0
+        if (cpu > 0) printf "%s %.3f\n", name, cpu
+      }
+    ' >>"$out"
+}
+
+reduce_min() {
+  awk '{ if (!($1 in best) || $2 + 0 < best[$1]) best[$1] = $2 + 0 }
+       END { for (n in best) printf "%s %.3f\n", n, best[n] }' "$1" | sort
+}
+
+echo "== building default tree (metrics compiled in, runtime-disabled) =="
+build_tree "$ROOT/build-metrics-on" -DISSA_METRICS=ON
+echo "== building -DISSA_METRICS=OFF tree =="
+build_tree "$ROOT/build-metrics-off" -DISSA_METRICS=OFF
+
+on_raw="$(mktemp)"
+off_raw="$(mktemp)"
+on_csv="$(mktemp)"
+off_csv="$(mktemp)"
+trap 'rm -f "$on_raw" "$off_raw" "$on_csv" "$off_csv"' EXIT
+
+echo "== running bench_kernels ($BENCH_FILTER, $ROUNDS x $REPETITIONS reps, interleaved) =="
+for ((round = 1; round <= ROUNDS; ++round)); do
+  run_bench "$ROOT/build-metrics-off/bench/bench_kernels" "$off_raw"
+  run_bench "$ROOT/build-metrics-on/bench/bench_kernels" "$on_raw"
+done
+reduce_min "$off_raw" >"$off_csv"
+reduce_min "$on_raw" >"$on_csv"
+
+echo
+printf '%-24s %14s %14s %9s\n' benchmark off_ns on_ns delta
+fail=0
+while read -r name off_ns && read -r name2 on_ns <&3; do
+  if [[ "$name" != "$name2" ]]; then
+    echo "benchmark set mismatch: $name vs $name2" >&2
+    exit 2
+  fi
+  delta=$(awk -v a="$on_ns" -v b="$off_ns" 'BEGIN { printf "%.2f", (a - b) / b * 100 }')
+  over=$(awk -v d="$delta" -v t="$TOLERANCE_PCT" 'BEGIN { print (d > t) ? 1 : 0 }')
+  mark=ok
+  if [[ "$over" == 1 ]]; then
+    mark=FAIL
+    fail=1
+  fi
+  printf '%-24s %14s %14s %+8s%% %s\n' "$name" "$off_ns" "$on_ns" "$delta" "$mark"
+done < <(cut -d' ' -f1,2 "$off_csv") 3< <(cut -d' ' -f1,2 "$on_csv")
+
+echo
+if [[ "$fail" == 1 ]]; then
+  echo "FAIL: metrics-enabled build regresses > ${TOLERANCE_PCT}% on a hot kernel"
+  exit 1
+fi
+echo "OK: runtime-disabled metrics within ${TOLERANCE_PCT}% of compiled-out build"

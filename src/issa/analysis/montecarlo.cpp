@@ -2,10 +2,32 @@
 
 #include "issa/aging/bti_model.hpp"
 #include "issa/sa/double_tail.hpp"
+#include "issa/util/metrics.hpp"
 #include "issa/util/thread_pool.hpp"
 #include "issa/workload/stress_map.hpp"
 
 namespace issa::analysis {
+
+namespace {
+
+namespace mnames = util::metrics::names;
+
+util::metrics::Counter& m_samples() {
+  static util::metrics::Counter& c = util::metrics::Registry::instance().counter(mnames::kMcSamples);
+  return c;
+}
+util::metrics::Counter& m_saturated() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kMcSaturatedSamples);
+  return c;
+}
+util::metrics::Timer& m_sample_time() {
+  static util::metrics::Timer& t =
+      util::metrics::Registry::instance().timer(mnames::kMcSampleTime);
+  return t;
+}
+
+}  // namespace
 
 double OffsetDistribution::spec(double failure_rate) const {
   return offset_voltage_spec(summary.mean, summary.stddev, failure_rate);
@@ -40,13 +62,20 @@ sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
 
 namespace {
 
-// Runs `body(i)` over the sample indices, in parallel when requested.
+// Runs `body(i)` over the sample indices, in parallel when requested, with
+// per-sample work accounting.
 template <typename Body>
 void for_samples(const McConfig& mc, Body&& body) {
+  auto counted = [&body](std::size_t i) {
+    const util::metrics::Timer::Scope timing(m_sample_time());
+    body(i);
+    m_samples().add();
+  };
   if (mc.parallel) {
-    util::ThreadPool::global().parallel_for(0, mc.iterations, body);
+    util::ThreadPool& pool = mc.pool != nullptr ? *mc.pool : util::ThreadPool::global();
+    pool.parallel_for(0, mc.iterations, counted);
   } else {
-    for (std::size_t i = 0; i < mc.iterations; ++i) body(i);
+    for (std::size_t i = 0; i < mc.iterations; ++i) counted(i);
   }
 }
 
@@ -66,6 +95,7 @@ OffsetDistribution measure_offset_distribution(const Condition& condition, const
   });
 
   for (const char s : saturated) dist.saturated_count += s;
+  m_saturated().add(dist.saturated_count);
   dist.summary = util::summarize(dist.offsets);
   return dist;
 }

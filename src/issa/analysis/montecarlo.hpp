@@ -20,6 +20,10 @@
 #include "issa/variation/mismatch.hpp"
 #include "issa/workload/workload.hpp"
 
+namespace issa::util {
+class ThreadPool;
+}
+
 namespace issa::analysis {
 
 /// One cell of the paper's experiment grid.
@@ -41,6 +45,9 @@ struct McConfig {
   std::size_t iterations = 400;  ///< the paper's Monte-Carlo count
   std::uint64_t seed = 42;
   bool parallel = true;
+  /// Pool for parallel runs (non-owning; nullptr = the global pool).  Results
+  /// are identical for every pool size, including serial (parallel = false).
+  util::ThreadPool* pool = nullptr;
   DelayMetric delay_metric = DelayMetric::kWorstDirection;
   variation::MismatchParams mismatch = variation::default_mismatch();
   aging::BtiParams bti = aging::default_bti();

@@ -7,8 +7,44 @@
 
 #include "issa/device/mosfet.hpp"
 #include "issa/linalg/lu.hpp"
+#include "issa/util/metrics.hpp"
 
 namespace issa::circuit {
+
+namespace {
+
+namespace mnames = util::metrics::names;
+
+util::metrics::Counter& metric(const char* name) {
+  return util::metrics::Registry::instance().counter(name);
+}
+
+util::metrics::Counter& m_newton_iterations() {
+  static util::metrics::Counter& c = metric(mnames::kNewtonIterations);
+  return c;
+}
+util::metrics::Counter& m_newton_failures() {
+  static util::metrics::Counter& c = metric(mnames::kNewtonFailures);
+  return c;
+}
+util::metrics::Counter& m_jacobian_builds() {
+  static util::metrics::Counter& c = metric(mnames::kJacobianBuilds);
+  return c;
+}
+util::metrics::Counter& m_step_rejections() {
+  static util::metrics::Counter& c = metric(mnames::kStepRejections);
+  return c;
+}
+util::metrics::Counter& m_transient_steps() {
+  static util::metrics::Counter& c = metric(mnames::kTransientSteps);
+  return c;
+}
+util::metrics::Counter& m_dc_solves() {
+  static util::metrics::Counter& c = metric(mnames::kDcSolves);
+  return c;
+}
+
+}  // namespace
 
 void TransientResult::append(double t, const std::vector<double>& node_voltages) {
   time_.push_back(t);
@@ -68,6 +104,7 @@ void Simulator::assemble(const std::vector<double>& x, double t, bool transient,
                          double source_scale, linalg::Matrix& jacobian,
                          std::vector<double>& residual) {
   const std::size_t n_unknowns = unknown_count();
+  ++stats_.jacobian_builds;  // flushed to metrics by newton_solve's Telemetry
   jacobian.set_zero();
   std::fill(residual.begin(), residual.end(), 0.0);
 
@@ -180,6 +217,24 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     return m;
   };
 
+  // Telemetry is batched per solve: the Newton loop counts locally (it runs
+  // thousands of times per transient) and one flush on exit pays a single
+  // enabled() check, keeping the hot loop free of atomics when metrics are off.
+  struct Telemetry {
+    const SimulatorStats& stats;
+    const long builds_before;
+    std::uint64_t iterations = 0;
+    std::uint64_t failures = 0;
+    explicit Telemetry(const SimulatorStats& s) : stats(s), builds_before(s.jacobian_builds) {}
+    ~Telemetry() {
+      if (!util::metrics::enabled()) return;
+      if (iterations > 0) m_newton_iterations().add(iterations);
+      if (failures > 0) m_newton_failures().add(failures);
+      const long builds = stats.jacobian_builds - builds_before;
+      if (builds > 0) m_jacobian_builds().add(static_cast<std::uint64_t>(builds));
+    }
+  } telemetry(stats_);
+
   assemble(x, t, transient, gmin, source_scale, jacobian, residual);
   double fnorm = inf_norm(residual);
   int line_search_failures = 0;
@@ -191,6 +246,7 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++stats_.newton_iterations;
+    ++telemetry.iterations;
     if (fnorm < abstol) return true;
 
     std::vector<double> dx;
@@ -201,6 +257,8 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
       for (auto& r : rhs) r = -r;
       dx = lu.solve(rhs);
     } catch (const std::runtime_error&) {
+      ++stats_.newton_failures;
+      ++telemetry.failures;
       return false;  // singular Jacobian: let the caller fall back
     }
 
@@ -228,7 +286,11 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     if (!improved) {
       // Accept the smallest trial step anyway to escape flat regions, but a
       // run of such steps means we are stuck.
-      if (++line_search_failures > 4) return false;
+      if (++line_search_failures > 4) {
+        ++stats_.newton_failures;
+        ++telemetry.failures;
+        return false;
+      }
     } else {
       line_search_failures = 0;
     }
@@ -247,11 +309,14 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     }
     if (max_dv < options.vtol && improved) return true;
   }
+  ++stats_.newton_failures;
+  ++telemetry.failures;
   return false;
 }
 
 std::vector<double> Simulator::solve_dc(const DcOptions& options) {
   ++stats_.dc_solves;
+  m_dc_solves().add();
   std::vector<double> x(unknown_count(), 0.0);
   auto load_guess = [&] {
     std::fill(x.begin(), x.end(), 0.0);
@@ -393,11 +458,14 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
         accept_step(x);
         t += h;
         ++stats_.transient_steps;
+        m_transient_steps().add();
         break;
       }
       if (++halvings > options.max_step_halvings) {
         throw ConvergenceError("run_transient: Newton failed at t = " + std::to_string(t));
       }
+      ++stats_.step_rejections;
+      m_step_rejections().add();
       h *= 0.5;
     }
     result.append(t, full_node_voltages(x));

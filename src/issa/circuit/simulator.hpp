@@ -97,11 +97,15 @@ class TransientResult {
   std::vector<std::vector<double>> waves_;  // [node][sample]
 };
 
-/// Cumulative work counters, exposed for the kernel benchmarks.
+/// Cumulative work counters, exposed for the kernel benchmarks.  The same
+/// events also feed the global util::metrics registry (sim.* counters).
 struct SimulatorStats {
   long newton_iterations = 0;
+  long newton_failures = 0;   ///< Newton loops that gave up (caller falls back)
   long lu_factorizations = 0;
+  long jacobian_builds = 0;   ///< assemble() calls (line-search trials included)
   long transient_steps = 0;
+  long step_rejections = 0;   ///< transient steps retried with a halved h
   long dc_solves = 0;
 };
 

@@ -1,10 +1,59 @@
 #include "issa/core/experiment.hpp"
 
 #include <cmath>
+#include <sstream>
 
+#include "issa/util/csv.hpp"
 #include "issa/util/units.hpp"
 
 namespace issa::core {
+
+std::string ExperimentRow::condition_label() const {
+  std::ostringstream os;
+  os << scheme << "/" << workload_label << (stress_time_s > 0 ? "@1e8s" : "@0s");
+  os.precision(2);
+  os << std::fixed << " vdd=" << vdd << " T=" << static_cast<int>(temperature_c);
+  return os.str();
+}
+
+void write_run_report_json(const std::string& path, std::string_view title,
+                           const std::vector<ExperimentRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"title\": \"" << title << "\",\n  \"conditions\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    // Indent the per-condition metrics document under its condition label.
+    std::istringstream doc(util::metrics::to_json(rows[i].condition_label(), rows[i].metrics));
+    std::string line;
+    bool first = true;
+    while (std::getline(doc, line)) {
+      os << (first ? "    " : "\n    ") << line;
+      first = false;
+    }
+  }
+  os << "\n  ]\n}\n";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_run_report_json: cannot open " + path);
+  out << os.str();
+  out.flush();
+  if (!out) throw std::runtime_error("write_run_report_json: write failed for " + path);
+}
+
+void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows) {
+  util::CsvWriter csv(path, {"condition", "metric", "kind", "count", "total_ns", "mean_ns"});
+  for (const auto& row : rows) {
+    const std::string label = row.condition_label();
+    for (const auto& e : row.metrics.entries) {
+      const char* kind = e.kind == util::metrics::Kind::kCounter   ? "counter"
+                         : e.kind == util::metrics::Kind::kTimer   ? "timer"
+                                                                   : "histogram";
+      csv.add_row(std::vector<std::string>{label, e.name, kind, std::to_string(e.count),
+                                           std::to_string(e.total_ns),
+                                           std::to_string(e.mean_ns())});
+    }
+  }
+  csv.close();
+}
 
 ExperimentRunner::ExperimentRunner(analysis::McConfig mc) : mc_(std::move(mc)) {}
 
@@ -42,11 +91,19 @@ ExperimentRow ExperimentRunner::run_cell(sa::SenseAmpKind kind,
   const analysis::Condition condition =
       make_condition(kind, workload, stress_time_s, vdd_scale, temperature_c);
 
+  // Scoped snapshot: the cell's report shows only the work this cell did.
+  const util::metrics::Snapshot before =
+      util::metrics::enabled() ? util::metrics::Registry::instance().snapshot()
+                               : util::metrics::Snapshot{};
+
   const analysis::OffsetDistribution offsets =
       analysis::measure_offset_distribution(condition, mc_);
   const analysis::DelayDistribution delays = analysis::measure_delay_distribution(condition, mc_);
 
   ExperimentRow row;
+  if (util::metrics::enabled()) {
+    row.metrics = util::metrics::Registry::instance().snapshot().delta_since(before);
+  }
   row.scheme = kind == sa::SenseAmpKind::kNssa ? "NSSA" : "ISSA";
   row.stress_time_s = stress_time_s;
   row.workload_label = workload_label(kind, workload, stress_time_s);

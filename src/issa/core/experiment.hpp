@@ -10,9 +10,11 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "issa/analysis/montecarlo.hpp"
+#include "issa/util/metrics.hpp"
 
 namespace issa::core {
 
@@ -28,7 +30,19 @@ struct ExperimentRow {
   double spec_mv = 0.0;        ///< offset-voltage spec at fr = 1e-9 [mV]
   double delay_ps = 0.0;       ///< mean sensing delay [ps]
   std::size_t mc_iterations = 0;
+  /// Solver/pool work spent on this cell (empty unless metrics are enabled).
+  util::metrics::Snapshot metrics;
+
+  /// Condition label for reports: "NSSA/80r0@1e8s vdd=1.00 T=25".
+  std::string condition_label() const;
 };
+
+/// Writes the per-condition run report of a row set: one JSON document and
+/// one CSV file (one line per condition x metric) built from each row's
+/// metrics snapshot.  No-ops (writes empty reports) when metrics were off.
+void write_run_report_json(const std::string& path, std::string_view title,
+                           const std::vector<ExperimentRow>& rows);
+void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows);
 
 /// A (time, delay) series for Fig. 7.
 struct DelayAgingSeries {

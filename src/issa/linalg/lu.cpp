@@ -4,9 +4,43 @@
 #include <limits>
 #include <stdexcept>
 
+#include "issa/util/metrics.hpp"
+
 namespace issa::linalg {
 
+namespace {
+
+namespace mnames = util::metrics::names;
+
+util::metrics::Counter& m_factorizations() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kLuFactorizations);
+  return c;
+}
+util::metrics::Counter& m_solves() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kLuSolves);
+  return c;
+}
+util::metrics::Timer& m_factor_time() {
+  static util::metrics::Timer& t =
+      util::metrics::Registry::instance().timer(mnames::kLuFactorTime);
+  return t;
+}
+util::metrics::Timer& m_solve_time() {
+  static util::metrics::Timer& t =
+      util::metrics::Registry::instance().timer(mnames::kLuSolveTime);
+  return t;
+}
+
+}  // namespace
+
 LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : lu_(a) {
+  // One enabled() check covers both counter and timer; when metrics are off
+  // the factorization pays a single relaxed load.
+  const bool monitored = util::metrics::enabled();
+  const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
+  if (monitored) m_factorizations().add();
   if (a.rows() != a.cols()) throw std::invalid_argument("LuFactorization: matrix not square");
   const std::size_t n = a.rows();
   perm_.resize(n);
@@ -42,9 +76,13 @@ LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : lu_(a) {
       for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
     }
   }
+  if (monitored) m_factor_time().record_ns(util::metrics::monotonic_ns() - t0);
 }
 
 void LuFactorization::solve_in_place(std::span<double> b) const {
+  const bool monitored = util::metrics::enabled();
+  const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
+  if (monitored) m_solves().add();
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
 
@@ -65,6 +103,7 @@ void LuFactorization::solve_in_place(std::span<double> b) const {
     y[ii] = acc / lu_(ii, ii);
   }
   for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
+  if (monitored) m_solve_time().record_ns(util::metrics::monotonic_ns() - t0);
 }
 
 std::vector<double> LuFactorization::solve(std::span<const double> b) const {

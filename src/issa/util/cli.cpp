@@ -79,4 +79,15 @@ std::size_t bench_mc_iterations(const Options& options) {
   return fast_mode(options) ? 60u : 400u;
 }
 
+bool metrics_requested(const Options& options) {
+  if (options.has_flag("metrics")) return true;
+  const char* env = std::getenv("ISSA_METRICS");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+std::string metrics_report_stem(const Options& options, std::string_view default_stem) {
+  if (const auto v = options.get_string("metrics"); v && !v->empty()) return *v;
+  return std::string(default_stem);
+}
+
 }  // namespace issa::util

@@ -36,4 +36,13 @@ bool fast_mode(const Options& options);
 /// overridable with --mc=N, shrunk to 60 in fast mode.
 std::size_t bench_mc_iterations(const Options& options);
 
+/// True when --metrics (or --metrics=stem) was passed, or the ISSA_METRICS
+/// environment variable is set to a non-empty, non-"0" value.  Callers turn
+/// collection on with util::metrics::set_enabled(true) when this holds.
+bool metrics_requested(const Options& options);
+
+/// Output stem for metrics reports: the value of --metrics=stem when given,
+/// otherwise `default_stem`.  Reports land at <stem>.metrics.json/.csv.
+std::string metrics_report_stem(const Options& options, std::string_view default_stem);
+
 }  // namespace issa::util

@@ -1,0 +1,269 @@
+// Observability layer: lock-free counters, timers, and histograms behind a
+// global registry, with JSON/CSV report export.
+//
+// The hot paths (Newton iterations, LU factorizations, thread-pool tasks,
+// Monte-Carlo samples) increment these from many threads at once, so every
+// metric is striped across cache-line-padded atomic cells indexed by a
+// per-thread stripe id; updates are a relaxed fetch_add with no shared
+// write-line contention in the common case.
+//
+// Two off switches keep the layer out of measurements that do not want it:
+//  - compile time: configure with -DISSA_METRICS=OFF and every class below
+//    becomes an empty no-op (ISSA_METRICS_ENABLED == 0), so instrumented
+//    call sites compile to nothing;
+//  - run time: metrics start disabled and instrumented sites pay one relaxed
+//    atomic load + predicted branch until set_enabled(true) is called
+//    (the --metrics CLI flag or the ISSA_METRICS environment variable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef ISSA_METRICS_ENABLED
+#define ISSA_METRICS_ENABLED 1
+#endif
+
+#if ISSA_METRICS_ENABLED
+#include <array>
+#include <atomic>
+#endif
+
+namespace issa::util::metrics {
+
+enum class Kind { kCounter, kTimer, kHistogram };
+
+/// Turns collection on or off at run time (default: off).
+void set_enabled(bool on) noexcept;
+
+#if ISSA_METRICS_ENABLED
+bool enabled() noexcept;
+#else
+constexpr bool enabled() noexcept { return false; }
+#endif
+
+/// Monotonic wall-clock in nanoseconds (steady_clock).
+std::uint64_t monotonic_ns() noexcept;
+
+namespace detail {
+
+inline constexpr std::size_t kStripes = 16;
+
+#if ISSA_METRICS_ENABLED
+/// Stable per-thread stripe index in [0, kStripes).
+std::size_t thread_stripe() noexcept;
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) TimerCell {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+};
+#endif
+
+}  // namespace detail
+
+#if ISSA_METRICS_ENABLED
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    cells_[detail::thread_stripe()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<detail::CounterCell, detail::kStripes> cells_{};
+};
+
+/// Accumulated duration plus event count; measure scopes with Timer::Scope.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    if (!enabled()) return;
+    auto& cell = cells_[detail::thread_stripe()];
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  /// RAII span: reads the clock only when metrics are enabled at entry.
+  class Scope {
+   public:
+    explicit Scope(Timer& timer) noexcept
+        : timer_(&timer), active_(enabled()), start_ns_(active_ ? monotonic_ns() : 0) {}
+    ~Scope() {
+      if (active_) timer_->record_ns(monotonic_ns() - start_ns_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timer* timer_;
+    bool active_;
+    std::uint64_t start_ns_;
+  };
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t total_ns() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<detail::TimerCell, detail::kStripes> cells_{};
+};
+
+/// Log2-bucketed distribution of nonnegative values (e.g. latencies in ns):
+/// bucket b counts values v with bit_width(v) == b (v = 0 lands in bucket 0).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::uint64_t v) noexcept {
+    if (!enabled()) return;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t total() const noexcept;
+  std::uint64_t bucket(std::size_t b) const noexcept;
+  void reset() noexcept;
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v != 0 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> total_{0};
+};
+
+#else  // !ISSA_METRICS_ENABLED: every metric is an empty no-op.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Timer {
+ public:
+  void record_ns(std::uint64_t) noexcept {}
+  class Scope {
+   public:
+    explicit Scope(Timer&) noexcept {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+  };
+  std::uint64_t count() const noexcept { return 0; }
+  std::uint64_t total_ns() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+  void record(std::uint64_t) noexcept {}
+  std::uint64_t count() const noexcept { return 0; }
+  std::uint64_t total() const noexcept { return 0; }
+  std::uint64_t bucket(std::size_t) const noexcept { return 0; }
+  void reset() noexcept {}
+  static std::size_t bucket_of(std::uint64_t) noexcept { return 0; }
+};
+
+#endif  // ISSA_METRICS_ENABLED
+
+/// One metric's value at snapshot time.
+struct SnapshotEntry {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t count = 0;     ///< counter value / timer count / histogram count
+  std::uint64_t total_ns = 0;  ///< timers: accumulated ns; histograms: value sum
+  std::vector<std::uint64_t> buckets;  ///< histograms only (log2 buckets)
+
+  double mean_ns() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(total_ns) / static_cast<double>(count);
+  }
+};
+
+/// A consistent-enough view of every registered metric (each metric is read
+/// atomically; the set as a whole is not a cross-metric atomic snapshot).
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  const SnapshotEntry* find(std::string_view name) const noexcept;
+  /// Counter value / event count of `name`, 0 when absent.
+  std::uint64_t value(std::string_view name) const noexcept;
+  /// Entry-wise difference vs. an earlier snapshot (clamped at 0), for
+  /// scoped per-condition reporting on top of cumulative metrics.
+  Snapshot delta_since(const Snapshot& earlier) const;
+};
+
+/// Well-known metric names; pre-registered so every report carries the full
+/// schema even when a path was never exercised (its counts read 0).
+namespace names {
+inline constexpr const char* kNewtonIterations = "sim.newton_iterations";
+inline constexpr const char* kNewtonFailures = "sim.newton_failures";
+inline constexpr const char* kStepRejections = "sim.step_rejections";
+inline constexpr const char* kJacobianBuilds = "sim.jacobian_builds";
+inline constexpr const char* kTransientSteps = "sim.transient_steps";
+inline constexpr const char* kDcSolves = "sim.dc_solves";
+inline constexpr const char* kLuFactorizations = "lu.factorizations";
+inline constexpr const char* kLuSolves = "lu.solves";
+inline constexpr const char* kLuFactorTime = "lu.factor_time";
+inline constexpr const char* kLuSolveTime = "lu.solve_time";
+inline constexpr const char* kPoolTasksEnqueued = "pool.tasks_enqueued";
+inline constexpr const char* kPoolTasksExecuted = "pool.tasks_executed";
+inline constexpr const char* kPoolQueueLatency = "pool.queue_latency";
+inline constexpr const char* kMcSamples = "mc.samples";
+inline constexpr const char* kMcSaturatedSamples = "mc.saturated_samples";
+inline constexpr const char* kMcSampleTime = "mc.sample_time";
+}  // namespace names
+
+/// Process-wide metric registry.  Lookup is mutex-protected (call sites cache
+/// the returned reference); the metrics themselves are lock-free.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+  /// Zeroes every registered metric (names stay registered).
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed (safe at exit)
+};
+
+/// Serializes a snapshot as a JSON document ({"title", "metrics": {...}}).
+std::string to_json(std::string_view title, const Snapshot& snapshot);
+
+/// Writes the JSON / CSV report; throws std::runtime_error on I/O failure.
+void write_report_json(const std::string& path, std::string_view title,
+                       const Snapshot& snapshot);
+void write_report_csv(const std::string& path, const Snapshot& snapshot);
+
+/// Renders a snapshot as a human-readable ASCII table string.
+std::string to_table(const Snapshot& snapshot);
+
+}  // namespace issa::util::metrics

@@ -3,7 +3,31 @@
 #include <atomic>
 #include <exception>
 
+#include "issa/util/metrics.hpp"
+
 namespace issa::util {
+
+namespace {
+
+metrics::Counter& tasks_enqueued() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter(metrics::names::kPoolTasksEnqueued);
+  return c;
+}
+
+metrics::Counter& tasks_executed() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter(metrics::names::kPoolTasksExecuted);
+  return c;
+}
+
+metrics::Histogram& queue_latency() {
+  static metrics::Histogram& h =
+      metrics::Registry::instance().histogram(metrics::names::kPoolQueueLatency);
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,9 +49,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_task(Task task) {
+  if (task.enqueue_ns != 0 && metrics::enabled()) {
+    queue_latency().record(metrics::monotonic_ns() - task.enqueue_ns);
+  }
+  tasks_executed().add();
+  task.fn();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -35,11 +67,27 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    run_task(std::move(task));
   }
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+bool ThreadPool::try_run_one() {
+  Task task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  run_task(std::move(task));
+  return true;
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  if (metrics::enabled()) task.enqueue_ns = metrics::monotonic_ns();
+  tasks_enqueued().add();
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(task));
@@ -84,8 +132,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     });
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  // Help drain the queue while waiting.  Once the queue is empty every chunk
+  // of THIS call is either finished or running on another thread, so blocking
+  // on done_cv cannot deadlock: the predicate re-check under done_mutex
+  // catches a completion that slipped in between the pop attempt and the wait.
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    if (try_run_one()) continue;
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,226 @@
+// Tests for the metrics/observability layer: cross-thread counter
+// aggregation, timer monotonicity, registry snapshot/reset/delta, report
+// serialization, and the runtime-disabled no-op path.
+#include "issa/util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace issa::util::metrics {
+namespace {
+
+// Every test runs with a clean, enabled registry and leaves metrics disabled
+// (the process-wide default) so other suites see no residue.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::instance().reset();
+  }
+};
+
+#if ISSA_METRICS_ENABLED
+
+TEST_F(MetricsTest, CounterAggregatesAcrossThreads) {
+  Counter& c = Registry::instance().counter("test.threads");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddSupportsIncrements) {
+  Counter& c = Registry::instance().counter("test.incr");
+  c.add(5);
+  c.add(7);
+  EXPECT_EQ(c.value(), 12u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, TimerAccumulatesMonotonically) {
+  Timer& t = Registry::instance().timer("test.timer");
+  std::uint64_t last_total = 0;
+  std::uint64_t last_count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    t.record_ns(static_cast<std::uint64_t>(i));
+    EXPECT_GE(t.total_ns(), last_total);
+    EXPECT_EQ(t.count(), last_count + 1);
+    last_total = t.total_ns();
+    last_count = t.count();
+  }
+  EXPECT_EQ(t.count(), 10u);
+  EXPECT_EQ(t.total_ns(), 55u);
+}
+
+TEST_F(MetricsTest, TimerScopeMeasuresElapsedTime) {
+  Timer& t = Registry::instance().timer("test.scope");
+  {
+    const Timer::Scope scope(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.total_ns(), 2'000'000u);  // slept >= 2 ms
+  EXPECT_LT(t.total_ns(), 60'000'000'000u);
+}
+
+TEST_F(MetricsTest, MonotonicClockNeverGoesBackwards) {
+  std::uint64_t last = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST_F(MetricsTest, HistogramBucketsByLog2) {
+  Histogram& h = Registry::instance().histogram("test.hist");
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 1
+  h.record(2);    // bucket 2
+  h.record(3);    // bucket 2
+  h.record(900);  // bucket 10
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.total(), 906u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameMetricForSameName) {
+  Counter& a = Registry::instance().counter("test.same");
+  Counter& b = Registry::instance().counter("test.same");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsTest, SnapshotContainsCanonicalSchema) {
+  const Snapshot snap = Registry::instance().snapshot();
+  for (const char* name :
+       {names::kNewtonIterations, names::kLuFactorizations, names::kPoolTasksExecuted,
+        names::kMcSamples, names::kLuFactorTime, names::kPoolQueueLatency}) {
+    EXPECT_NE(snap.find(name), nullptr) << name;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotReflectsAndResetClears) {
+  Registry::instance().counter("test.snap").add(3);
+  Registry::instance().timer("test.snap_t").record_ns(42);
+  Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.value("test.snap"), 3u);
+  const SnapshotEntry* timer_entry = snap.find("test.snap_t");
+  ASSERT_NE(timer_entry, nullptr);
+  EXPECT_EQ(timer_entry->count, 1u);
+  EXPECT_EQ(timer_entry->total_ns, 42u);
+
+  Registry::instance().reset();
+  snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.value("test.snap"), 0u);  // zeroed but still registered
+  EXPECT_NE(snap.find("test.snap"), nullptr);
+}
+
+TEST_F(MetricsTest, DeltaSinceIsolatesScopedWork) {
+  Counter& c = Registry::instance().counter("test.delta");
+  c.add(10);
+  const Snapshot before = Registry::instance().snapshot();
+  c.add(7);
+  const Snapshot delta = Registry::instance().snapshot().delta_since(before);
+  EXPECT_EQ(delta.value("test.delta"), 7u);
+}
+
+TEST_F(MetricsTest, RuntimeDisabledIsNoOp) {
+  Counter& c = Registry::instance().counter("test.disabled");
+  Timer& t = Registry::instance().timer("test.disabled_t");
+  set_enabled(false);
+  c.add(100);
+  t.record_ns(100);
+  {
+    const Timer::Scope scope(t);
+  }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+#else  // compile-disabled build: everything is a structural no-op.
+
+TEST_F(MetricsTest, CompileDisabledEverythingIsNoOp) {
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_FALSE(enabled());
+  Counter& c = Registry::instance().counter("test.off");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(Registry::instance().snapshot().entries.empty());
+}
+
+#endif  // ISSA_METRICS_ENABLED
+
+TEST_F(MetricsTest, JsonReportIsWellFormed) {
+  Registry::instance().counter("test.json").add(2);
+  const Snapshot snap = Registry::instance().snapshot();
+  const std::string json = to_json("unit \"quoted\" title", snap);
+  EXPECT_NE(json.find("\"title\": \"unit \\\"quoted\\\" title\""), std::string::npos);
+  // Balanced braces / brackets (cheap well-formedness proxy without a parser).
+  long braces = 0;
+  long brackets = 0;
+  for (const char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+    EXPECT_GE(braces, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+#if ISSA_METRICS_ENABLED
+  EXPECT_NE(json.find("\"test.json\": {\"kind\": \"counter\", \"count\": 2}"),
+            std::string::npos);
+#endif
+}
+
+TEST_F(MetricsTest, ReportFilesRoundTrip) {
+  Registry::instance().counter("test.file").add(9);
+  const Snapshot snap = Registry::instance().snapshot();
+  const std::string json_path = ::testing::TempDir() + "metrics_test_report.json";
+  const std::string csv_path = ::testing::TempDir() + "metrics_test_report.csv";
+  write_report_json(json_path, "roundtrip", snap);
+  write_report_csv(csv_path, snap);
+
+  std::ifstream json_in(json_path);
+  std::stringstream json_text;
+  json_text << json_in.rdbuf();
+  EXPECT_NE(json_text.str().find("\"title\": \"roundtrip\""), std::string::npos);
+
+  std::ifstream csv_in(csv_path);
+  std::string header;
+  std::getline(csv_in, header);
+  EXPECT_EQ(header, "metric,kind,count,total_ns,mean_ns");
+
+  std::remove(json_path.c_str());
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(MetricsTest, WriteToUnopenablePathThrows) {
+  EXPECT_THROW(write_report_json("/nonexistent-dir/x/y.json", "t", Snapshot{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace issa::util::metrics

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "issa/util/metrics.hpp"
 
 namespace issa::util {
 namespace {
@@ -84,6 +89,87 @@ TEST(ThreadPool, NestedUseFromManyCallers) {
     pool.parallel_for(0, 50, [&](std::size_t) { count.fetch_add(1); });
     ASSERT_EQ(count.load(), 50);
   }
+}
+
+TEST(ThreadPool, RecursiveSubmissionDoesNotDeadlock) {
+  // A task body issuing its own parallel_for on the same pool used to
+  // deadlock once every worker blocked waiting for inner chunks nobody was
+  // left to run; waiters now drain the queue themselves.
+  ThreadPool pool(2);
+  std::atomic<int> inner_count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { inner_count.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_count.load(), 8 * 16);
+}
+
+TEST(ThreadPool, DeeplyNestedRecursionCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> recurse = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    pool.parallel_for(0, 3, [&](std::size_t) { recurse(depth - 1); });
+  };
+  recurse(4);  // 3^4 leaves
+  EXPECT_EQ(leaves.load(), 81);
+}
+
+TEST(ThreadPool, ExceptionFromRecursiveSubmissionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(0, 8, [&](std::size_t inner) {
+                                     if (outer == 1 && inner == 5) {
+                                       throw std::runtime_error("nested boom");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsAllTasks) {
+  // Destroying the pool while a parallel_for is mid-flight must drain every
+  // queued chunk (no lost work) and join cleanly instead of crashing.
+  auto pool = std::make_unique<ThreadPool>(2);
+  std::atomic<int> done{0};
+  std::thread driver([&] {
+    pool->parallel_for(0, 32, [&](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  pool.reset();  // shutdown while workers are busy
+  driver.join();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, CountsTasksWhenMetricsEnabled) {
+#if ISSA_METRICS_ENABLED
+  metrics::Registry::instance().reset();
+  metrics::set_enabled(true);
+  ThreadPool pool(2);
+  pool.parallel_for(0, 64, [](std::size_t) {});
+  metrics::set_enabled(false);
+  const metrics::Snapshot snap = metrics::Registry::instance().snapshot();
+  const std::uint64_t enqueued = snap.value(metrics::names::kPoolTasksEnqueued);
+  const std::uint64_t executed = snap.value(metrics::names::kPoolTasksExecuted);
+  EXPECT_GT(enqueued, 0u);
+  EXPECT_EQ(enqueued, executed);
+  const metrics::SnapshotEntry* latency = snap.find(metrics::names::kPoolQueueLatency);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, executed);
+  metrics::Registry::instance().reset();
+#else
+  GTEST_SKIP() << "metrics compiled out";
+#endif
 }
 
 }  // namespace
