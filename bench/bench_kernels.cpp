@@ -70,14 +70,51 @@ void BM_SenseTransient(benchmark::State& state) {
 }
 BENCHMARK(BM_SenseTransient)->Unit(benchmark::kMillisecond);
 
-void BM_OffsetBisection(benchmark::State& state) {
-  auto circuit = sa::build_nssa(sa::nominal_config());
-  variation::apply_process_variation(circuit.netlist(), variation::default_mismatch(), 42, 1);
+// End-to-end offset search over a handful of mismatch samples — the same
+// workload the Monte-Carlo distribution loop runs per sample.  Several
+// samples per iteration so the measurement reflects the estimator's typical
+// accuracy rather than one lucky or unlucky draw.
+std::vector<sa::SenseAmpCircuit> offset_search_samples() {
+  std::vector<sa::SenseAmpCircuit> circuits;
+  for (int sample = 1; sample <= 4; ++sample) {
+    auto c = sa::build_nssa(sa::nominal_config());
+    variation::apply_process_variation(c.netlist(), variation::default_mismatch(), 42,
+                                       static_cast<std::uint64_t>(sample));
+    circuits.push_back(std::move(c));
+  }
+  return circuits;
+}
+
+// Fast path at default options (warm-started bracket, split interpolation,
+// early-exit transients, reused solver workspace).  Compare against
+// BM_OffsetSearchLegacy for the speedup guarded by
+// scripts/check_offset_fastpath.sh.
+void BM_OffsetSearchFast(benchmark::State& state) {
+  auto circuits = offset_search_samples();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sa::measure_offset(circuit).offset);
+    for (auto& circuit : circuits) {
+      benchmark::DoNotOptimize(sa::measure_offset(circuit).offset);
+    }
   }
 }
-BENCHMARK(BM_OffsetBisection)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OffsetSearchFast)->Unit(benchmark::kMillisecond);
+
+// The pre-fast-path behaviour: full-window bisection, all transients
+// integrated to t_stop, a fresh simulator (and workspace) per run.
+void BM_OffsetSearchLegacy(benchmark::State& state) {
+  auto circuits = offset_search_samples();
+  sa::OffsetSearchOptions legacy;
+  legacy.warm_start = false;
+  legacy.split_secant = false;
+  legacy.early_exit = false;
+  legacy.reuse_simulator = false;
+  for (auto _ : state) {
+    for (auto& circuit : circuits) {
+      benchmark::DoNotOptimize(sa::measure_offset(circuit, legacy).offset);
+    }
+  }
+}
+BENCHMARK(BM_OffsetSearchLegacy)->Unit(benchmark::kMillisecond);
 
 void BM_TrapSetSampling(benchmark::State& state) {
   device::MosInstance inst;

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Guards the offset-search fast path: runs the end-to-end measure_offset
+# kernel with the fast path on (default options: warm-started bisection,
+# early-exit transients, reused solver workspace) and off (the legacy
+# behaviour), and fails unless fast is at least MIN_SPEEDUP times faster.
+# The measured ratio is recorded in BENCH_offset_fastpath.json.
+#
+#   $ scripts/check_offset_fastpath.sh
+#
+# Environment overrides:
+#   MIN_SPEEDUP     required legacy/fast cpu-time ratio   (default 2.0)
+#   REPETITIONS     --benchmark_repetitions per round     (default 3)
+#   ROUNDS          alternating fast/legacy rounds        (default 3)
+#   BUILD_DIR       benchmark build tree                  (default build-fastpath)
+#   OUT_JSON        result artifact                       (default BENCH_offset_fastpath.json)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+REPETITIONS="${REPETITIONS:-3}"
+ROUNDS="${ROUNDS:-3}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-fastpath}"
+OUT_JSON="${OUT_JSON:-$ROOT/BENCH_offset_fastpath.json}"
+
+echo "== building Release tree =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_kernels -j "$(nproc)" >/dev/null
+
+run_bench() {
+  # Appends raw "name cpu_ns" lines for every repetition to $out; the caller
+  # reduces with a min over all rounds (min is the noise-robust floor for
+  # benchmarks — scheduler interference only ever adds time).
+  local filter="$1" out="$2"
+  "$BUILD_DIR/bench/bench_kernels" --benchmark_filter="$filter" \
+    --benchmark_repetitions="$REPETITIONS" \
+    --benchmark_report_aggregates_only=false \
+    --benchmark_format=csv 2>/dev/null |
+    awk -F, '
+      /^"?BM_/ {
+        name = $1; gsub(/"/, "", name)
+        if (name ~ /_(mean|median|stddev|cv)$/) next  # raw repetitions only
+        cpu = $4 + 0
+        if (cpu > 0) printf "%s %.3f\n", name, cpu
+      }
+    ' >>"$out"
+}
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== running bench_kernels ($ROUNDS x $REPETITIONS reps, interleaved) =="
+for ((round = 1; round <= ROUNDS; ++round)); do
+  run_bench 'BM_OffsetSearchFast$' "$raw"
+  run_bench 'BM_OffsetSearchLegacy$' "$raw"
+done
+
+fast_ms=$(awk '$1 == "BM_OffsetSearchFast" { if (!f || $2 + 0 < f) f = $2 + 0 } END { print f }' "$raw")
+legacy_ms=$(awk '$1 == "BM_OffsetSearchLegacy" { if (!f || $2 + 0 < f) f = $2 + 0 } END { print f }' "$raw")
+
+if [[ -z "$fast_ms" || -z "$legacy_ms" ]]; then
+  echo "FAIL: benchmark produced no samples" >&2
+  exit 2
+fi
+
+speedup=$(awk -v l="$legacy_ms" -v f="$fast_ms" 'BEGIN { printf "%.2f", l / f }')
+ok=$(awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { print (s + 0 >= m + 0) ? 1 : 0 }')
+
+cat >"$OUT_JSON" <<EOF
+{
+  "benchmark": "measure_offset end-to-end (bench_kernels)",
+  "fast": {"name": "BM_OffsetSearchFast", "cpu_ms": $fast_ms},
+  "legacy": {"name": "BM_OffsetSearchLegacy", "cpu_ms": $legacy_ms},
+  "speedup": $speedup,
+  "min_required_speedup": $MIN_SPEEDUP,
+  "pass": $([[ "$ok" == 1 ]] && echo true || echo false),
+  "rounds": $ROUNDS,
+  "repetitions": $REPETITIONS
+}
+EOF
+
+echo
+printf '%-24s %14s ms\n' BM_OffsetSearchFast "$fast_ms"
+printf '%-24s %14s ms\n' BM_OffsetSearchLegacy "$legacy_ms"
+printf 'speedup %sx (required >= %sx) -> %s\n' "$speedup" "$MIN_SPEEDUP" "$OUT_JSON"
+
+if [[ "$ok" != 1 ]]; then
+  echo "FAIL: offset-search fast path is below ${MIN_SPEEDUP}x"
+  exit 1
+fi
+echo "OK: fast path is ${speedup}x over legacy"

@@ -1,5 +1,8 @@
 #include "issa/analysis/montecarlo.hpp"
 
+#include <atomic>
+#include <optional>
+
 #include "issa/aging/bti_model.hpp"
 #include "issa/sa/double_tail.hpp"
 #include "issa/util/metrics.hpp"
@@ -27,13 +30,20 @@ util::metrics::Timer& m_sample_time() {
   return t;
 }
 
+std::atomic<std::uint64_t> g_stress_map_builds{0};
+
 }  // namespace
 
 double OffsetDistribution::spec(double failure_rate) const {
   return offset_voltage_spec(summary.mean, summary.stddev, failure_rate);
 }
 
+std::uint64_t condition_stress_map_builds() noexcept {
+  return g_stress_map_builds.load(std::memory_order_relaxed);
+}
+
 aging::DeviceStressMap condition_stress_map(const Condition& condition) {
+  g_stress_map_builds.fetch_add(1, std::memory_order_relaxed);
   const double vdd = condition.config.vdd;
   switch (condition.kind) {
     case sa::SenseAmpKind::kNssa:
@@ -50,11 +60,21 @@ aging::DeviceStressMap condition_stress_map(const Condition& condition) {
 
 sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
                                  std::size_t sample_index) {
+  return build_sample(condition, mc, sample_index, nullptr);
+}
+
+sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
+                                 std::size_t sample_index,
+                                 const aging::DeviceStressMap* stress) {
   sa::SenseAmpCircuit circuit = sa::build_sense_amp(condition.kind, condition.config);
   variation::apply_process_variation(circuit.netlist(), mc.mismatch, mc.seed, sample_index);
   if (condition.aged()) {
-    const aging::DeviceStressMap stress = condition_stress_map(condition);
-    aging::apply_bti_aging(circuit.netlist(), mc.bti, stress, condition.stress_time_s,
+    aging::DeviceStressMap local;
+    if (stress == nullptr) {
+      local = condition_stress_map(condition);
+      stress = &local;
+    }
+    aging::apply_bti_aging(circuit.netlist(), mc.bti, *stress, condition.stress_time_s,
                            condition.config.temperature_k(), mc.seed, sample_index);
   }
   return circuit;
@@ -86,9 +106,12 @@ OffsetDistribution measure_offset_distribution(const Condition& condition, const
   dist.offsets.resize(mc.iterations);
   std::vector<char> saturated(mc.iterations, 0);
 
-  // Aged stress maps are identical across samples; compute once.
+  // Aged stress maps are identical across samples: compute once, share
+  // read-only across the pool.
+  std::optional<aging::DeviceStressMap> stress;
+  if (condition.aged()) stress.emplace(condition_stress_map(condition));
   for_samples(mc, [&](std::size_t i) {
-    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i);
+    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
     const sa::OffsetResult r = sa::measure_offset(circuit);
     dist.offsets[i] = r.offset;
     saturated[i] = r.saturated ? 1 : 0;
@@ -103,8 +126,10 @@ OffsetDistribution measure_offset_distribution(const Condition& condition, const
 DelayDistribution measure_delay_distribution(const Condition& condition, const McConfig& mc) {
   DelayDistribution dist;
   dist.delays.resize(mc.iterations);
+  std::optional<aging::DeviceStressMap> stress;
+  if (condition.aged()) stress.emplace(condition_stress_map(condition));
   for_samples(mc, [&](std::size_t i) {
-    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i);
+    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
     const sa::DelayPair pair = sa::measure_delay(circuit);
     dist.delays[i] =
         mc.delay_metric == DelayMetric::kWorstDirection ? pair.worst() : pair.mean();

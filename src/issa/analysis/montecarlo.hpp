@@ -74,6 +74,19 @@ struct DelayDistribution {
 sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
                                  std::size_t sample_index);
 
+/// Same, but with a caller-provided stress map for aged conditions (pass
+/// nullptr for the self-computing behaviour above).  The map depends only on
+/// the condition, never the sample, so the distribution loops compute it
+/// once and share it across all samples and threads (read-only).
+sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
+                                 std::size_t sample_index,
+                                 const aging::DeviceStressMap* stress);
+
+/// Cumulative number of condition_stress_map() evaluations in this process.
+/// Test hook for the compute-once contract: a distribution call over an aged
+/// condition must advance this by exactly 1 regardless of sample count.
+std::uint64_t condition_stress_map_builds() noexcept;
+
 /// Measures the offset distribution of a condition.
 OffsetDistribution measure_offset_distribution(const Condition& condition, const McConfig& mc);
 

@@ -43,12 +43,48 @@ util::metrics::Counter& m_dc_solves() {
   static util::metrics::Counter& c = metric(mnames::kDcSolves);
   return c;
 }
+util::metrics::Counter& m_early_exits() {
+  static util::metrics::Counter& c = metric(mnames::kTransientEarlyExits);
+  return c;
+}
 
 }  // namespace
 
+TransientResult::TransientResult(std::size_t node_count, std::vector<NodeId> probes)
+    : recorded_(std::move(probes)), wave_index_(node_count, -1) {
+  if (recorded_.empty()) {
+    recorded_.resize(node_count);
+    for (std::size_t n = 0; n < node_count; ++n) recorded_[n] = static_cast<NodeId>(n);
+  }
+  waves_.resize(recorded_.size());
+  for (std::size_t k = 0; k < recorded_.size(); ++k) {
+    const auto node = static_cast<std::size_t>(recorded_[k]);
+    if (recorded_[k] < 0 || node >= node_count) {
+      throw std::invalid_argument("TransientResult: probe on unknown node");
+    }
+    wave_index_[node] = static_cast<long>(k);
+  }
+}
+
 void TransientResult::append(double t, const std::vector<double>& node_voltages) {
   time_.push_back(t);
-  for (std::size_t n = 0; n < waves_.size(); ++n) waves_[n].push_back(node_voltages[n]);
+  for (std::size_t k = 0; k < recorded_.size(); ++k) {
+    waves_[k].push_back(node_voltages[static_cast<std::size_t>(recorded_[k])]);
+  }
+}
+
+bool TransientResult::records(NodeId node) const noexcept {
+  const auto n = static_cast<std::size_t>(node);
+  return node >= 0 && n < wave_index_.size() && wave_index_[n] >= 0;
+}
+
+const std::vector<double>& TransientResult::node_wave(NodeId node) const {
+  const long idx = wave_index_.at(static_cast<std::size_t>(node));
+  if (idx < 0) {
+    throw std::out_of_range("TransientResult::node_wave: node " + std::to_string(node) +
+                            " was not probed");
+  }
+  return waves_[static_cast<std::size_t>(idx)];
 }
 
 double TransientResult::at(NodeId node, double t) const {
@@ -69,7 +105,10 @@ std::optional<double> TransientResult::crossing_time(NodeId node, double level, 
     if (time_[i] < after) continue;
     const double v0 = w[i - 1];
     const double v1 = w[i];
-    const bool crossed = rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    // A segment departing from exactly `level` counts as a crossing at its
+    // start; a flat segment sitting on the level does not.
+    const bool crossed = rising ? (v0 < level && v1 >= level) || (v0 == level && v1 > level)
+                                : (v0 > level && v1 <= level) || (v0 == level && v1 < level);
     if (!crossed) continue;
     const double frac = (level - v0) / (v1 - v0);
     const double t = time_[i - 1] + frac * (time_[i] - time_[i - 1]);
@@ -92,12 +131,24 @@ Simulator::Simulator(const Netlist& netlist, double temperature_k)
       source_count_(netlist.vsources().size()),
       cap_state_(netlist.capacitors().size()) {
   if (!(temperature_k > 0.0)) throw std::invalid_argument("Simulator: temperature must be > 0 K");
+  const std::size_t n = unknown_count();
+  jacobian_ws_.resize(n, n);
+  residual_ws_.resize(n);
+  residual_try_ws_.resize(n);
+  x_try_ws_.resize(n);
+  dx_ws_.resize(n);
 }
 
 std::vector<double> Simulator::full_node_voltages(const std::vector<double>& x) const {
-  std::vector<double> v(node_count_, 0.0);
-  for (std::size_t n = 1; n < node_count_; ++n) v[n] = x[n - 1];
+  std::vector<double> v;
+  fill_node_voltages(x, v);
   return v;
+}
+
+void Simulator::fill_node_voltages(const std::vector<double>& x, std::vector<double>& v) const {
+  v.resize(node_count_);
+  v[0] = 0.0;
+  for (std::size_t n = 1; n < node_count_; ++n) v[n] = x[n - 1];
 }
 
 void Simulator::assemble(const std::vector<double>& x, double t, bool transient, double gmin,
@@ -206,10 +257,12 @@ void Simulator::assemble(const std::vector<double>& x, double t, bool transient,
 bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, double gmin,
                              double source_scale, const NewtonOptions& options) {
   const std::size_t n = unknown_count();
-  linalg::Matrix jacobian(n, n);
-  std::vector<double> residual(n);
-  std::vector<double> x_try(n);
-  std::vector<double> residual_try(n);
+  // All buffers are simulator-owned workspace: zero allocations per call.
+  linalg::Matrix& jacobian = jacobian_ws_;
+  std::vector<double>& residual = residual_ws_;
+  std::vector<double>& x_try = x_try_ws_;
+  std::vector<double>& residual_try = residual_try_ws_;
+  std::vector<double>& dx = dx_ws_;
 
   auto inf_norm = [](const std::vector<double>& v) {
     double m = 0.0;
@@ -249,13 +302,11 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     ++telemetry.iterations;
     if (fnorm < abstol) return true;
 
-    std::vector<double> dx;
     try {
-      linalg::LuFactorization lu(jacobian);
+      lu_ws_.factorize(jacobian);  // in place: jacobian now holds the factors
       ++stats_.lu_factorizations;
-      std::vector<double> rhs = residual;
-      for (auto& r : rhs) r = -r;
-      dx = lu.solve(rhs);
+      for (std::size_t i = 0; i < n; ++i) dx[i] = -residual[i];
+      lu_ws_.solve_in_place(dx);
     } catch (const std::runtime_error&) {
       ++stats_.newton_failures;
       ++telemetry.failures;
@@ -270,20 +321,13 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     // Damping stage 2: backtracking line search on the residual norm.  This
     // kills the period-2 orbits Newton falls into on exponential device
     // characteristics (the full step overshoots back and forth forever).
-    double alpha = 1.0;
-    bool improved = false;
-    for (int trial = 0; trial < 7; ++trial, alpha *= 0.5) {
-      for (std::size_t i = 0; i < n; ++i) x_try[i] = x[i] + alpha * dx[i];
-      assemble(x_try, t, transient, gmin, source_scale, jacobian, residual_try);
-      const double fnorm_try = inf_norm(residual_try);
-      // Strict relative decrease (a slack here would let period-2 orbits
-      // alternate forever), or an absolute landing below the floor.
-      if (fnorm_try <= fnorm * (1.0 - 0.1 * alpha) || fnorm_try < 0.5 * abstol) {
-        improved = true;
-        break;
-      }
-    }
-    if (!improved) {
+    const detail::LineSearchOutcome ls =
+        detail::backtracking_line_search(7, fnorm, abstol, [&](double alpha) {
+          for (std::size_t i = 0; i < n; ++i) x_try[i] = x[i] + alpha * dx[i];
+          assemble(x_try, t, transient, gmin, source_scale, jacobian, residual_try);
+          return inf_norm(residual_try);
+        });
+    if (!ls.improved) {
       // Accept the smallest trial step anyway to escape flat regions, but a
       // run of such steps means we are stuck.
       if (++line_search_failures > 4) {
@@ -304,10 +348,12 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     fnorm = inf_norm(residual);
 
     if (std::getenv("ISSA_DEBUG_NEWTON") != nullptr) {
-      std::fprintf(stderr, "  newton iter=%d alpha=%.3f max_dv=%.3e fnorm=%.3e\n", iter, alpha,
+      // ls.alpha is the step actually taken (the line search reports the
+      // accepted trial, not the post-loop halved value).
+      std::fprintf(stderr, "  newton iter=%d alpha=%.3f max_dv=%.3e fnorm=%.3e\n", iter, ls.alpha,
                    max_dv, fnorm);
     }
-    if (max_dv < options.vtol && improved) return true;
+    if (max_dv < options.vtol && ls.improved) return true;
   }
   ++stats_.newton_failures;
   ++telemetry.failures;
@@ -326,10 +372,14 @@ std::vector<double> Simulator::solve_dc(const DcOptions& options) {
     }
     for (std::size_t n = 1; n < node_count_; ++n) x[n - 1] = options.initial_guess[n];
   };
+  auto finish = [&]() -> std::vector<double> {
+    fill_node_voltages(x, last_dc_);
+    return last_dc_;
+  };
 
   load_guess();
   if (newton_solve(x, 0.0, /*transient=*/false, options.newton.gmin, 1.0, options.newton)) {
-    return full_node_voltages(x);
+    return finish();
   }
 
   if (options.gmin_stepping) {
@@ -346,7 +396,7 @@ std::vector<double> Simulator::solve_dc(const DcOptions& options) {
       if (gmin <= options.newton.gmin * 1.0001) break;
       gmin = std::max(gmin * 0.5, options.newton.gmin);
     }
-    if (ok) return full_node_voltages(x);
+    if (ok) return finish();
 
     // Last resort: source stepping under relaxed gmin, then re-tighten.
     load_guess();
@@ -358,7 +408,7 @@ std::vector<double> Simulator::solve_dc(const DcOptions& options) {
       }
     }
     if (ok && newton_solve(x, 0.0, false, options.newton.gmin, 1.0, options.newton)) {
-      return full_node_voltages(x);
+      return finish();
     }
   }
   throw ConvergenceError("solve_dc: Newton failed to converge");
@@ -421,7 +471,7 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     cap_state_[k].current = 0.0;
   }
 
-  TransientResult result(node_count_);
+  TransientResult result(node_count_, options.probes);
   result.append(0.0, v0);
 
   // Source breakpoints: steps land exactly on every PWL corner so the
@@ -438,6 +488,8 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
   std::sort(breakpoints.begin(), breakpoints.end());
   std::size_t next_breakpoint = 0;
 
+  std::vector<double>& x_try = step_x_try_ws_;
+  std::vector<double>& node_v = node_v_ws_;
   double t = 0.0;
   while (t < options.tstop - 1e-18) {
     double h = std::min(options.dt, options.tstop - t);
@@ -451,10 +503,10 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     int halvings = 0;
     for (;;) {
       prepare_companions(h, options.method);
-      std::vector<double> x_try = x;
+      x_try.assign(x.begin(), x.end());
       if (newton_solve(x_try, t + h, /*transient=*/true, options.newton.gmin, 1.0,
                        options.newton)) {
-        x = std::move(x_try);
+        x.swap(x_try);
         accept_step(x);
         t += h;
         ++stats_.transient_steps;
@@ -468,7 +520,13 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
       m_step_rejections().add();
       h *= 0.5;
     }
-    result.append(t, full_node_voltages(x));
+    fill_node_voltages(x, node_v);
+    result.append(t, node_v);
+    if (options.stop_condition && options.stop_condition(t, node_v)) {
+      ++stats_.early_exits;
+      m_early_exits().add();
+      break;
+    }
   }
   return result;
 }

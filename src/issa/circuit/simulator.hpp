@@ -9,14 +9,22 @@
 // (backward Euler or trapezoidal); the nonlinear solve at each timestep is
 // the same Newton loop, warm-started from the previous step.  Failed steps
 // are retried with a halved timestep a bounded number of times.
+//
+// Every per-iteration buffer (Jacobian, residuals, trial vectors, the LU
+// factorization and its scratch) lives on the Simulator and is reused across
+// iterations, steps, and runs: a transient performs zero heap allocations in
+// its Newton loop, which is what makes the measurement fast path (sa/measure)
+// cheap enough for paper-scale Monte-Carlo sweeps.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "issa/circuit/netlist.hpp"
 #include "issa/circuit/waveform.hpp"
+#include "issa/linalg/lu.hpp"
 #include "issa/linalg/matrix.hpp"
 
 namespace issa::circuit {
@@ -66,24 +74,41 @@ struct TransientOptions {
   /// Passed through to the t = 0 DC solve as its starting point.
   std::vector<double> dc_guess;
   int max_step_halvings = 8;  ///< local timestep cuts before giving up
+
+  /// When non-empty, the TransientResult records only these nodes instead of
+  /// every node at every step (the measurement fast path probes just the
+  /// nodes it reads).  Node dynamics are unaffected — this is purely a
+  /// recording filter.
+  std::vector<NodeId> probes;
+  /// Early-exit observer, called after every accepted step with the step time
+  /// and the FULL node-voltage vector (index = NodeId).  Returning true stops
+  /// the transient; the triggering sample is the last one recorded.  The
+  /// integration up to that point is identical to an uninterrupted run.
+  std::function<bool(double t, const std::vector<double>& v)> stop_condition;
 };
 
-/// Sampled node voltages over a transient run.
+/// Sampled node voltages over a transient run.  With a probe list, only the
+/// probed nodes carry waveforms; querying any other node throws
+/// std::out_of_range.
 class TransientResult {
  public:
-  TransientResult(std::size_t node_count) : waves_(node_count) {}
+  explicit TransientResult(std::size_t node_count, std::vector<NodeId> probes = {});
 
   void append(double t, const std::vector<double>& node_voltages);
 
+  /// True when `node`'s waveform was recorded (always true without probes).
+  bool records(NodeId node) const noexcept;
+
   const std::vector<double>& time() const noexcept { return time_; }
-  const std::vector<double>& node_wave(NodeId node) const {
-    return waves_.at(static_cast<std::size_t>(node));
-  }
+  const std::vector<double>& node_wave(NodeId node) const;
 
   /// Voltage of `node` at time t (linear interpolation).
   double at(NodeId node, double t) const;
 
   /// First crossing of `level` on `node` in the given direction after `after`.
+  /// A waveform departing from exactly `level` counts as crossing at the
+  /// departure sample (a node initial-overridden to precisely the level —
+  /// the precharge-equalize discipline — must still register).
   std::optional<double> crossing_time(NodeId node, double level, bool rising,
                                       double after = 0.0) const;
 
@@ -93,8 +118,10 @@ class TransientResult {
   std::size_t steps() const noexcept { return time_.size(); }
 
  private:
+  std::vector<NodeId> recorded_;   // the nodes waves_ holds, in order
+  std::vector<long> wave_index_;   // [node] -> index into waves_, -1 if absent
   std::vector<double> time_;
-  std::vector<std::vector<double>> waves_;  // [node][sample]
+  std::vector<std::vector<double>> waves_;  // [recorded node][sample]
 };
 
 /// Cumulative work counters, exposed for the kernel benchmarks.  The same
@@ -107,12 +134,51 @@ struct SimulatorStats {
   long transient_steps = 0;
   long step_rejections = 0;   ///< transient steps retried with a halved h
   long dc_solves = 0;
+  long early_exits = 0;       ///< transients stopped by a stop_condition
 };
+
+namespace detail {
+
+/// Outcome of one backtracking line search.
+struct LineSearchOutcome {
+  bool improved = false;  ///< a trial met the acceptance test
+  double alpha = 1.0;     ///< the ACCEPTED step scale — the last trial's alpha
+                          ///< when nothing improved, never the post-loop value
+  double fnorm = 0.0;     ///< residual norm at the accepted trial point
+};
+
+/// Backtracking line search over alpha = 1, 1/2, ..., 2^-(max_trials-1).
+/// `try_alpha(alpha)` must evaluate the trial point x + alpha*dx and return
+/// its residual norm; the state left by the LAST call is what the caller
+/// accepts, so the outcome's alpha always names the step actually taken.
+/// Acceptance: strict relative decrease (a slack here would let period-2
+/// orbits alternate forever), or an absolute landing below the floor.
+template <typename TryAlpha>
+LineSearchOutcome backtracking_line_search(int max_trials, double fnorm0, double abstol,
+                                           TryAlpha&& try_alpha) {
+  LineSearchOutcome out;
+  double alpha = 1.0;
+  for (int trial = 0; trial < max_trials; ++trial, alpha *= 0.5) {
+    const double fnorm_try = try_alpha(alpha);
+    out.alpha = alpha;
+    out.fnorm = fnorm_try;
+    if (fnorm_try <= fnorm0 * (1.0 - 0.1 * alpha) || fnorm_try < 0.5 * abstol) {
+      out.improved = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
 
 class Simulator {
  public:
   /// The netlist must outlive the simulator.  `temperature_k` applies to all
-  /// MOSFET evaluations.
+  /// MOSFET evaluations.  A Simulator may be reused across runs (the
+  /// measurement fast path reuses one instance for a whole offset search to
+  /// amortize its workspace); each run_transient re-derives every piece of
+  /// run state from its own DC solve.
   Simulator(const Netlist& netlist, double temperature_k);
 
   /// DC operating point with sources evaluated at t = 0.  Returns the full
@@ -122,6 +188,12 @@ class Simulator {
   /// Transient analysis starting from the DC operating point (plus any
   /// initial overrides in the options).
   TransientResult run_transient(const TransientOptions& options);
+
+  /// The node-voltage vector of the most recent DC solve (empty before the
+  /// first).  The offset search feeds this back as the next run's dc_guess:
+  /// consecutive bisection probes differ only in the bitline drive, so the
+  /// previous operating point converges in a couple of Newton iterations.
+  const std::vector<double>& last_dc_solution() const noexcept { return last_dc_; }
 
   double temperature() const noexcept { return temperature_k_; }
   const SimulatorStats& stats() const noexcept { return stats_; }
@@ -150,6 +222,8 @@ class Simulator {
   void accept_step(const std::vector<double>& x);
 
   std::vector<double> full_node_voltages(const std::vector<double>& x) const;
+  // Allocation-free variant: writes into `v` (resized once, then reused).
+  void fill_node_voltages(const std::vector<double>& x, std::vector<double>& v) const;
 
   std::size_t voltage_unknowns() const noexcept { return node_count_ - 1; }
   std::size_t unknown_count() const noexcept { return voltage_unknowns() + source_count_; }
@@ -160,6 +234,18 @@ class Simulator {
   std::size_t source_count_;
   std::vector<CapacitorState> cap_state_;
   SimulatorStats stats_;
+
+  // Reusable solver workspace (see file comment): sized once in the
+  // constructor, written every Newton iteration, never reallocated.
+  linalg::Matrix jacobian_ws_;
+  std::vector<double> residual_ws_;
+  std::vector<double> residual_try_ws_;
+  std::vector<double> x_try_ws_;
+  std::vector<double> dx_ws_;
+  linalg::LuFactorization lu_ws_;     // factors jacobian_ws_ in place
+  std::vector<double> step_x_try_ws_; // transient per-step trial unknowns
+  std::vector<double> node_v_ws_;     // full node voltages per accepted step
+  std::vector<double> last_dc_;       // most recent DC solution
 };
 
 }  // namespace issa::circuit

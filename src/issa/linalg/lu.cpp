@@ -35,13 +35,19 @@ util::metrics::Timer& m_solve_time() {
 
 }  // namespace
 
-LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : lu_(a) {
+LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : owned_(a) {
+  factorize(owned_, min_pivot);
+}
+
+void LuFactorization::factorize(Matrix& a, double min_pivot) {
   // One enabled() check covers both counter and timer; when metrics are off
   // the factorization pays a single relaxed load.
   const bool monitored = util::metrics::enabled();
   const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
   if (monitored) m_factorizations().add();
   if (a.rows() != a.cols()) throw std::invalid_argument("LuFactorization: matrix not square");
+  lu_ = nullptr;  // stays unset until the factorization succeeds
+  Matrix& lu = a;
   const std::size_t n = a.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
@@ -50,9 +56,9 @@ LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : lu_(a) {
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest magnitude in column k at or below the diagonal.
     std::size_t pivot_row = k;
-    double pivot_mag = std::fabs(lu_(k, k));
+    double pivot_mag = std::fabs(lu(k, k));
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double mag = std::fabs(lu_(r, k));
+      const double mag = std::fabs(lu(r, k));
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = r;
@@ -65,17 +71,18 @@ LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : lu_(a) {
     min_pivot_seen_ = std::min(min_pivot_seen_, pivot_mag);
     if (pivot_row != k) {
       std::swap(perm_[k], perm_[pivot_row]);
-      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot_row, c));
     }
 
-    const double inv_pivot = 1.0 / lu_(k, k);
+    const double inv_pivot = 1.0 / lu(k, k);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double factor = lu_(r, k) * inv_pivot;
-      lu_(r, k) = factor;
+      const double factor = lu(r, k) * inv_pivot;
+      lu(r, k) = factor;
       if (factor == 0.0) continue;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+      for (std::size_t c = k + 1; c < n; ++c) lu(r, c) -= factor * lu(k, c);
     }
   }
+  lu_ = &a;
   if (monitored) m_factor_time().record_ns(util::metrics::monotonic_ns() - t0);
 }
 
@@ -83,24 +90,27 @@ void LuFactorization::solve_in_place(std::span<double> b) const {
   const bool monitored = util::metrics::enabled();
   const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
   if (monitored) m_solves().add();
+  if (lu_ == nullptr) throw std::logic_error("LuFactorization::solve: not factorized");
+  const Matrix& lu = *lu_;
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size mismatch");
 
-  // Apply permutation.
-  std::vector<double> y(n);
+  // Apply permutation (scratch buffer reused across solves).
+  std::vector<double>& y = y_;
+  y.resize(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
 
   // Forward substitution (unit lower).
   for (std::size_t i = 0; i < n; ++i) {
     double acc = y[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
     y[i] = acc;
   }
   // Back substitution (upper).
   for (std::size_t ii = n; ii-- > 0;) {
     double acc = y[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
-    y[ii] = acc / lu_(ii, ii);
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * y[j];
+    y[ii] = acc / lu(ii, ii);
   }
   for (std::size_t i = 0; i < n; ++i) b[i] = y[i];
   if (monitored) m_solve_time().record_ns(util::metrics::monotonic_ns() - t0);

@@ -9,15 +9,37 @@
 
 namespace issa::linalg {
 
-/// In-place LU factorization of a square matrix with row pivoting.
+/// LU factorization of a square matrix with row pivoting.
 /// Reusable across solves with different right-hand sides.
+///
+/// Two modes:
+///  * the constructor factorizes a private copy of `a` (convenient one-shots);
+///  * factorize() factorizes caller-owned storage IN PLACE — no allocation
+///    beyond the first call's permutation/scratch vectors, which is what lets
+///    the circuit solver's Newton loop run without per-iteration heap traffic.
 class LuFactorization {
  public:
+  /// Empty factorization; call factorize() before solving.
+  LuFactorization() = default;
+
   /// Factorizes a copy of `a`.  Throws std::runtime_error when the matrix is
   /// numerically singular (pivot below `min_pivot`).
   explicit LuFactorization(const Matrix& a, double min_pivot = 1e-14);
 
-  std::size_t size() const noexcept { return lu_.rows(); }
+  // The factorization may point into caller-owned storage; copying it would
+  // silently alias the other instance's matrix.
+  LuFactorization(const LuFactorization&) = delete;
+  LuFactorization& operator=(const LuFactorization&) = delete;
+
+  /// Factorizes `a` in place: `a`'s storage is overwritten with the L and U
+  /// factors and must stay alive and untouched until the next factorize()
+  /// call (or destruction).  Reuses the permutation/scratch buffers, so a
+  /// repeat call at the same size performs zero allocations.  Throws
+  /// std::runtime_error on a singular matrix; the factorization is then
+  /// unusable until the next successful factorize().
+  void factorize(Matrix& a, double min_pivot = 1e-14);
+
+  std::size_t size() const noexcept { return lu_ == nullptr ? 0 : lu_->rows(); }
 
   /// Solves A x = b; returns x.
   std::vector<double> solve(std::span<const double> b) const;
@@ -30,8 +52,10 @@ class LuFactorization {
   double min_pivot_magnitude() const noexcept { return min_pivot_seen_; }
 
  private:
-  Matrix lu_;
+  Matrix owned_;         // backing storage for the copying constructor
+  Matrix* lu_ = nullptr; // the factored matrix (owned_ or caller storage)
   std::vector<std::size_t> perm_;
+  mutable std::vector<double> y_;  // solve scratch, reused across solves
   double min_pivot_seen_ = 0.0;
 };
 

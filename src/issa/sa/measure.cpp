@@ -1,5 +1,6 @@
 #include "issa/sa/measure.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -42,6 +43,80 @@ SenseRunResult classify(const SenseAmpCircuit& c, const circuit::TransientResult
   return r;
 }
 
+// One measurement campaign over a single testbench: a sequence of sensing
+// runs at different input differentials.  Owns the fast-path state — the
+// reused Simulator (with its Newton workspace) and the previous run's DC
+// solution — and applies the early-exit/probe configuration per run.
+class SenseSession {
+ public:
+  // `decision_only` relaxes the early-exit condition to the read decision
+  // alone (offset search ignores the delay); delay measurements must leave it
+  // false so the output crossing is always in the record.
+  SenseSession(SenseAmpCircuit& circuit, bool early_exit, bool reuse_simulator,
+               bool decision_only = false)
+      : circuit_(circuit),
+        early_exit_(early_exit),
+        reuse_(reuse_simulator),
+        decision_only_(decision_only) {}
+
+  SenseRunResult run(double vin) {
+    circuit_.set_input_differential(vin);
+    circuit::TransientOptions opt = transient_options(circuit_, vin);
+    if (early_exit_) {
+      // Record only what classify() reads.
+      for (const circuit::NodeId node : {circuit_.node_s(), circuit_.node_sbar(),
+                                         circuit_.node_out(), circuit_.node_outbar()}) {
+        if (std::find(opt.probes.begin(), opt.probes.end(), node) == opt.probes.end()) {
+          opt.probes.push_back(node);
+        }
+      }
+      // Stop once the sensing operation has irreversibly resolved: the latch
+      // split exceeds Vdd/2 — past that point the positive feedback cannot
+      // reverse, so the read decision is sealed.  A delay measurement must
+      // additionally wait until the outputs split past 80% of Vdd, which
+      // implies the Vdd/2 output crossing that defines the delay is already
+      // in the record.  Runs that never resolve (the marginal bisection
+      // probes) never trigger and integrate to t_stop exactly as without
+      // early exit.
+      const auto s = static_cast<std::size_t>(circuit_.node_s());
+      const auto sbar = static_cast<std::size_t>(circuit_.node_sbar());
+      const auto out = static_cast<std::size_t>(circuit_.node_out());
+      const auto outbar = static_cast<std::size_t>(circuit_.node_outbar());
+      const double vdd = circuit_.config().vdd;
+      const double t_settled = circuit_.config().timing.t_fire + circuit_.config().timing.t_rise;
+      if (decision_only_) {
+        opt.stop_condition = [=](double t, const std::vector<double>& v) {
+          return t > t_settled && std::fabs(v[s] - v[sbar]) > 0.5 * vdd;
+        };
+      } else {
+        opt.stop_condition = [=](double t, const std::vector<double>& v) {
+          return t > t_settled && std::fabs(v[s] - v[sbar]) > 0.5 * vdd &&
+                 std::fabs(v[out] - v[outbar]) > 0.8 * vdd;
+        };
+      }
+    }
+    if (reuse_ && sim_.has_value()) {
+      // Consecutive runs differ only in the bitline drive: the previous DC
+      // operating point is a near-exact starting guess for this one.
+      if (!sim_->last_dc_solution().empty()) opt.dc_guess = sim_->last_dc_solution();
+    } else {
+      sim_.emplace(circuit_.netlist(), circuit_.config().temperature_k());
+    }
+    ++transients_;
+    return classify(circuit_, sim_->run_transient(opt));
+  }
+
+  int transients() const noexcept { return transients_; }
+
+ private:
+  SenseAmpCircuit& circuit_;
+  bool early_exit_;
+  bool reuse_;
+  bool decision_only_;
+  std::optional<circuit::Simulator> sim_;
+  int transients_ = 0;
+};
+
 }  // namespace
 
 circuit::TransientResult run_sense_transient(SenseAmpCircuit& circuit, double vin) {
@@ -59,19 +134,93 @@ OffsetResult measure_offset(SenseAmpCircuit& circuit, const OffsetSearchOptions&
   if (!(options.vmax > 0.0) || !(options.tolerance > 0.0) || options.tolerance >= options.vmax) {
     throw std::invalid_argument("measure_offset: bad search options");
   }
+  if (!(options.warm_start_halfwidth > 0.0)) {
+    throw std::invalid_argument("measure_offset: warm_start_halfwidth must be > 0");
+  }
   OffsetResult result;
   double lo = -options.vmax;  // assumed to read 0
   double hi = options.vmax;   // assumed to read 1
-  while (hi - lo > options.tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    const SenseRunResult r = run_sense(circuit, mid);
-    ++result.transients;
+
+  SenseSession session(circuit, options.early_exit, options.reuse_simulator,
+                       /*decision_only=*/true);
+
+  // Final latch splits V(S) - V(SBar) at the bracket ends, once probed:
+  // negative on the lo (read-0) side, positive on the hi side.  While both
+  // stay in the linear regime the split is ~proportional to vin minus the
+  // flip point, which the interpolation step below exploits.
+  double g_lo = 0.0, g_hi = 0.0;
+  bool have_lo = false, have_hi = false;
+  auto probe = [&](double x) {
+    const SenseRunResult r = session.run(x);
+    const double g = r.s_final - r.sbar_final;
     if (r.read_one) {
-      hi = mid;
+      hi = x;
+      g_hi = g;
+      have_hi = true;
     } else {
-      lo = mid;
+      lo = x;
+      g_lo = g;
+      have_lo = true;
     }
+    return r.read_one;
+  };
+
+  // Warm start: probe the first-order DC estimate of the flip, then march
+  // geometrically into the side the estimate leaves open until the flip is
+  // bracketed.  Only for the unswapped latch-type SAs — the estimator is not
+  // defined for the double-tail topologies, and swapping inverts the
+  // decision's monotonicity, which the probe updates above assume.
+  const double w0 = options.warm_start_halfwidth;
+  const bool estimable =
+      (circuit.kind() == SenseAmpKind::kNssa || circuit.kind() == SenseAmpKind::kIssa) &&
+      !circuit.swapped();
+  if (options.warm_start && estimable && w0 > options.tolerance && 2.0 * w0 < hi - lo) {
+    // The flip point of vin is minus the offset estimate (sign convention of
+    // OffsetResult); clamp it inside the window.
+    const double center = std::clamp(-estimate_offset_dc(circuit), lo + options.tolerance,
+                                     hi - options.tolerance);
+    const bool read_one = probe(center);
+    for (double w = w0; hi - lo > options.tolerance; w *= 4.0) {
+      const double x = read_one ? center - w : center + w;
+      if (x <= lo || x >= hi) break;  // fell off the window: bisection takes over
+      if (probe(x) != read_one) break;  // flip bracketed
+    }
+    // Good estimate: the bracket is now O(w0) wide and the loop below
+    // finishes in a handful of runs.  Bad estimate: each marching probe
+    // still narrowed the window one-sidedly, so nothing is lost.
   }
+
+  // Bisection, accelerated by false position on the final latch splits when
+  // both bracket ends are unresolved (|split| below the early-exit seal at
+  // Vdd/2, so identical with early exit on or off): there the split is
+  // near-linear in vin and interpolation lands next to the flip, collapsing
+  // the bracket in 2-3 runs where bisection needs ~log2(width / tolerance).
+  // Correctness never depends on the interpolation — it only picks the query
+  // point inside the bracket — and a forced bisection after every two
+  // interpolation steps keeps the worst case bisection-like.
+  const double g_linear = 0.45 * circuit.config().vdd;
+  int secant_streak = 0;
+  while (hi - lo > options.tolerance) {
+    double x = 0.5 * (lo + hi);
+    bool used_secant = false;
+    if (options.split_secant && secant_streak < 2 && have_lo && have_hi && g_lo < 0.0 &&
+        g_hi > 0.0 && g_lo > -g_linear && g_hi < g_linear) {
+      // Brent-style minimum step: keep the proposal at least half a tolerance
+      // off either end.  Once interpolation has pinned the flip at one end,
+      // the next probe then closes the bracket to the tolerance in one run
+      // instead of creeping toward it.
+      const double step = 0.49 * options.tolerance;
+      const double xs = std::clamp(lo + (hi - lo) * (-g_lo) / (g_hi - g_lo),  //
+                                   lo + step, hi - step);
+      if (xs > lo && xs < hi) {
+        x = xs;
+        used_secant = true;
+      }
+    }
+    secant_streak = used_secant ? secant_streak + 1 : 0;
+    probe(x);
+  }
+  result.transients = session.transients();
   // Report in the paper's read-0-direction convention (see OffsetResult).
   result.offset = -0.5 * (lo + hi);
   // If the bracket collapsed onto a window edge the true flip point lies
@@ -82,11 +231,12 @@ OffsetResult measure_offset(SenseAmpCircuit& circuit, const OffsetSearchOptions&
 
 DelayPair measure_delay(SenseAmpCircuit& circuit, double vin_magnitude) {
   if (!(vin_magnitude > 0.0)) throw std::invalid_argument("measure_delay: vin must be > 0");
+  SenseSession session(circuit, /*early_exit=*/true, /*reuse_simulator=*/true);
   for (int scale = 1; scale <= 4; ++scale) {
     const double vin = vin_magnitude * scale;
-    const SenseRunResult one = run_sense(circuit, vin);
+    const SenseRunResult one = session.run(vin);
     if (!one.delay || !one.read_one) continue;
-    const SenseRunResult zero = run_sense(circuit, -vin);
+    const SenseRunResult zero = session.run(-vin);
     if (!zero.delay || zero.read_one) continue;
     DelayPair d;
     d.read_one = *one.delay;

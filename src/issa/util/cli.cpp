@@ -55,9 +55,20 @@ std::optional<double> Options::get_double(std::string_view name) const {
 }
 
 std::optional<long> Options::get_long(std::string_view name) const {
-  const auto v = get_double(name);
-  if (!v) return std::nullopt;
-  return static_cast<long>(*v);
+  const auto v = find_arg(args_, name);
+  if (!v || v->empty()) return std::nullopt;
+  // Parse as an integer directly: going through stod would silently truncate
+  // "3.7" to 3 and lose precision above 2^53.
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(*v, &consumed);
+    if (consumed != v->size()) {
+      throw std::invalid_argument("trailing characters");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer value for --" + std::string(name) + ": " + *v);
+  }
 }
 
 double Options::get_double_or(std::string_view name, double fallback) const {

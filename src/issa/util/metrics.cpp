@@ -165,6 +165,7 @@ Registry::Registry() : impl_(new Impl) {
   for (const char* name :
        {names::kNewtonIterations, names::kNewtonFailures, names::kStepRejections,
         names::kJacobianBuilds, names::kTransientSteps, names::kDcSolves,
+        names::kTransientEarlyExits,
         names::kLuFactorizations, names::kLuSolves, names::kPoolTasksEnqueued,
         names::kPoolTasksExecuted, names::kMcSamples, names::kMcSaturatedSamples}) {
     counter(name);

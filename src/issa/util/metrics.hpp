@@ -220,6 +220,7 @@ inline constexpr const char* kStepRejections = "sim.step_rejections";
 inline constexpr const char* kJacobianBuilds = "sim.jacobian_builds";
 inline constexpr const char* kTransientSteps = "sim.transient_steps";
 inline constexpr const char* kDcSolves = "sim.dc_solves";
+inline constexpr const char* kTransientEarlyExits = "sim.transient_early_exits";
 inline constexpr const char* kLuFactorizations = "lu.factorizations";
 inline constexpr const char* kLuSolves = "lu.solves";
 inline constexpr const char* kLuFactorTime = "lu.factor_time";

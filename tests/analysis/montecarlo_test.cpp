@@ -111,6 +111,41 @@ TEST(MonteCarlo, ConditionStressMapDispatchesByKind) {
   EXPECT_EQ(issa_map.count("M3"), 1u);
 }
 
+// Regression: build_sample used to recompute the condition stress map for
+// every sample, contradicting the "compute once" comment in the distribution
+// loop.  A distribution call must evaluate condition_stress_map exactly once
+// regardless of the sample count.
+TEST(MonteCarlo, StressMapComputedOncePerOffsetDistribution) {
+  const Condition c = aged_nssa("80r0");
+  const std::uint64_t before = condition_stress_map_builds();
+  measure_offset_distribution(c, small_mc(6));
+  EXPECT_EQ(condition_stress_map_builds() - before, 1u);
+}
+
+TEST(MonteCarlo, StressMapComputedOncePerDelayDistribution) {
+  const Condition c = aged_nssa("80r0");
+  const std::uint64_t before = condition_stress_map_builds();
+  measure_delay_distribution(c, small_mc(4));
+  EXPECT_EQ(condition_stress_map_builds() - before, 1u);
+}
+
+TEST(MonteCarlo, FreshConditionBuildsNoStressMap) {
+  const std::uint64_t before = condition_stress_map_builds();
+  measure_offset_distribution(fresh_nssa(), small_mc(4));
+  EXPECT_EQ(condition_stress_map_builds() - before, 0u);
+}
+
+TEST(MonteCarlo, SharedStressMapMatchesPerSampleBuild) {
+  const Condition c = aged_nssa("80r0");
+  const McConfig mc = small_mc();
+  const aging::DeviceStressMap stress = condition_stress_map(c);
+  auto self = build_sample(c, mc, 5);
+  auto shared = build_sample(c, mc, 5, &stress);
+  for (const auto& m : self.netlist().mosfets()) {
+    EXPECT_EQ(m.inst.delta_vth, shared.netlist().find_mosfet(m.name).inst.delta_vth) << m.name;
+  }
+}
+
 TEST(MonteCarlo, BuildSampleAppliesShifts) {
   const McConfig mc = small_mc();
   auto circuit = build_sample(aged_nssa("80r0"), mc, 3);

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "issa/util/normal.hpp"
+
 namespace issa::analysis {
 namespace {
 
@@ -66,6 +68,44 @@ TEST(Spec, LooserFailureRateShrinksSpec) {
 TEST(Spec, FailureRateEdgeCases) {
   EXPECT_DOUBLE_EQ(failure_rate_of_spec(0.0, 1.0, -1.0), 1.0);
   EXPECT_NEAR(failure_rate_of_spec(0.0, 1.0, 0.0), 1.0, 1e-12);
+}
+
+// Property: spec and failure rate are inverse functions of each other over
+// the whole regime the paper's tables touch — means up to 10 sigma off
+// center and failure rates down to 1e-12.
+TEST(SpecProperty, FailureRateRoundTripAcrossExtremes) {
+  for (const double sigma : {1e-3, 14.8e-3, 50e-3}) {
+    for (const double mu_sigmas : {-10.0, -3.0, -0.5, 0.0, 0.5, 3.0, 10.0}) {
+      for (const double fr : {1e-3, 1e-6, 1e-9, 1e-12}) {
+        const double mu = mu_sigmas * sigma;
+        const double spec = offset_voltage_spec(mu, sigma, fr);
+        const double fr_back = failure_rate_of_spec(mu, sigma, spec);
+        EXPECT_NEAR(fr_back / fr, 1.0, 1e-2)
+            << "mu=" << mu << " sigma=" << sigma << " fr=" << fr;
+      }
+    }
+  }
+}
+
+TEST(SpecProperty, CenteredSpecIsSixPointOneSigmaAtPaperRate) {
+  // mu = 0 limit: spec(1e-9) must be 6.1 sigma for every sigma.
+  for (const double sigma : {1e-3, 5e-3, 14.8e-3, 30e-3, 100e-3}) {
+    EXPECT_NEAR(offset_voltage_spec(0.0, sigma, kPaperFailureRate) / sigma, 6.1, 0.02)
+        << "sigma=" << sigma;
+  }
+}
+
+TEST(SpecProperty, SpecGrowsWithMeanMagnitudeAndTighterRate) {
+  const double sigma = 12e-3;
+  double prev = 0.0;
+  for (const double mu_sigmas : {0.0, 1.0, 3.0, 10.0}) {
+    const double spec = offset_voltage_spec(mu_sigmas * sigma, sigma, 1e-9);
+    EXPECT_GT(spec, prev);
+    prev = spec;
+  }
+  // Far off center, the spec approaches |mu| + one-sided quantile.
+  const double far = offset_voltage_spec(10.0 * sigma, sigma, 1e-9);
+  EXPECT_NEAR(far, 10.0 * sigma + util::normal_quantile(1.0 - 1e-9) * sigma, 1e-3);
 }
 
 TEST(Spec, InputValidation) {

@@ -210,5 +210,138 @@ TEST(SimulatorTran, StepCountAndTimeAxis) {
   EXPECT_NEAR(tr.time().back(), 1e-9, 1e-15);
 }
 
+// Regression: a waveform departing upward from exactly `level` (a node
+// initial-overridden to precisely Vdd/2, the precharge-equalize discipline)
+// must register a crossing at the departure sample.  The old strict
+// `v0 < level` comparison missed it.
+TEST(TransientResult, DepartureFromExactLevelCounts) {
+  TransientResult tr(2);
+  tr.append(0.0, {0.0, 0.5});
+  tr.append(1.0, {0.0, 0.6});
+  tr.append(2.0, {0.0, 0.7});
+  const auto rising = tr.crossing_time(1, 0.5, /*rising=*/true);
+  ASSERT_TRUE(rising.has_value());
+  EXPECT_DOUBLE_EQ(*rising, 0.0);
+
+  TransientResult fall(2);
+  fall.append(0.0, {0.0, 0.5});
+  fall.append(1.0, {0.0, 0.4});
+  const auto falling = fall.crossing_time(1, 0.5, /*rising=*/false);
+  ASSERT_TRUE(falling.has_value());
+  EXPECT_DOUBLE_EQ(*falling, 0.0);
+}
+
+TEST(TransientResult, FlatHoldAtLevelIsNotACrossing) {
+  TransientResult tr(2);
+  tr.append(0.0, {0.0, 0.5});
+  tr.append(1.0, {0.0, 0.5});
+  tr.append(2.0, {0.0, 0.5});
+  EXPECT_FALSE(tr.crossing_time(1, 0.5, true).has_value());
+  EXPECT_FALSE(tr.crossing_time(1, 0.5, false).has_value());
+}
+
+TEST(TransientResult, ProbeListFiltersRecording) {
+  TransientResult tr(3, {2});
+  tr.append(0.0, {0.1, 0.2, 0.3});
+  tr.append(1.0, {0.1, 0.2, 0.4});
+  EXPECT_TRUE(tr.records(2));
+  EXPECT_FALSE(tr.records(1));
+  ASSERT_EQ(tr.node_wave(2).size(), 2u);
+  EXPECT_DOUBLE_EQ(tr.node_wave(2).back(), 0.4);
+  EXPECT_THROW(tr.node_wave(1), std::out_of_range);
+  EXPECT_THROW(tr.at(1, 0.5), std::out_of_range);
+}
+
+TEST(TransientResult, RejectsUnknownProbe) {
+  EXPECT_THROW(TransientResult(2, {5}), std::invalid_argument);
+}
+
+TEST(SimulatorTran, ProbedRunMatchesFullRun) {
+  RcFixture f;
+  TransientOptions opt;
+  opt.tstop = 1e-9;
+  opt.dt = 1e-11;
+  Simulator full_sim(f.net, kT);
+  const TransientResult full = full_sim.run_transient(opt);
+  opt.probes = {f.out};
+  Simulator probed_sim(f.net, kT);
+  const TransientResult probed = probed_sim.run_transient(opt);
+  ASSERT_EQ(probed.steps(), full.steps());
+  EXPECT_FALSE(probed.records(f.in));
+  // Bit-exact: probing filters recording without touching the integration.
+  EXPECT_EQ(probed.node_wave(f.out), full.node_wave(f.out));
+}
+
+TEST(SimulatorTran, StopConditionEndsRunEarly) {
+  RcFixture f;
+  Simulator sim(f.net, kT);
+  TransientOptions opt;
+  opt.tstop = 5e-9;
+  opt.dt = 1e-11;
+  const std::size_t out_index = static_cast<std::size_t>(f.out);
+  opt.stop_condition = [out_index](double, const std::vector<double>& v) {
+    return v[out_index] > 0.5;
+  };
+  const TransientResult tr = sim.run_transient(opt);
+  // tau ln 2 ~ 0.69 ns: the run must stop shortly after the 50% point
+  // instead of integrating to 5 ns.
+  EXPECT_LT(tr.time().back(), 1e-9);
+  EXPECT_GT(tr.node_wave(f.out).back(), 0.5);
+  EXPECT_EQ(sim.stats().early_exits, 1);
+
+  // The truncated run is a prefix of the uninterrupted one.
+  Simulator ref_sim(f.net, kT);
+  TransientOptions ref_opt = opt;
+  ref_opt.stop_condition = nullptr;
+  const TransientResult ref = ref_sim.run_transient(ref_opt);
+  ASSERT_LT(tr.steps(), ref.steps());
+  for (std::size_t i = 0; i < tr.steps(); ++i) {
+    EXPECT_DOUBLE_EQ(tr.node_wave(f.out)[i], ref.node_wave(f.out)[i]) << i;
+  }
+}
+
+// Regression for the ISSA_DEBUG_NEWTON trace: the line search must report
+// the alpha of the trial actually accepted.  The old code printed the loop
+// variable after its post-iteration halving, claiming half the true step on
+// the no-improvement path.
+TEST(LineSearch, ReportsLastTrialAlphaWhenNothingImproves) {
+  std::vector<double> alphas;
+  const auto out = detail::backtracking_line_search(7, 1.0, 1e-12, [&](double alpha) {
+    alphas.push_back(alpha);
+    return 2.0;  // every trial makes things worse
+  });
+  EXPECT_FALSE(out.improved);
+  ASSERT_EQ(alphas.size(), 7u);
+  // The state left behind is the last trial's: alpha = 2^-6, not 2^-7.
+  EXPECT_DOUBLE_EQ(out.alpha, alphas.back());
+  EXPECT_DOUBLE_EQ(out.alpha, 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(out.fnorm, 2.0);
+}
+
+TEST(LineSearch, ReportsAcceptedAlphaOnImprovement) {
+  const auto out = detail::backtracking_line_search(7, 1.0, 1e-12, [](double alpha) {
+    return alpha < 0.3 ? 0.1 : 1.5;  // only the 1/4 step improves
+  });
+  EXPECT_TRUE(out.improved);
+  EXPECT_DOUBLE_EQ(out.alpha, 0.25);
+  EXPECT_DOUBLE_EQ(out.fnorm, 0.1);
+}
+
+TEST(SimulatorTran, WorkspaceReuseAcrossRunsIsBitExact) {
+  // One simulator reused for consecutive runs must reproduce a fresh
+  // simulator's waveforms exactly (the workspace carries no run state).
+  RcFixture f;
+  TransientOptions opt;
+  opt.tstop = 1e-9;
+  opt.dt = 1e-11;
+  Simulator reused(f.net, kT);
+  const TransientResult first = reused.run_transient(opt);
+  const TransientResult second = reused.run_transient(opt);
+  EXPECT_EQ(first.node_wave(f.out), second.node_wave(f.out));
+  Simulator fresh(f.net, kT);
+  const TransientResult ref = fresh.run_transient(opt);
+  EXPECT_EQ(second.node_wave(f.out), ref.node_wave(f.out));
+}
+
 }  // namespace
 }  // namespace issa::circuit

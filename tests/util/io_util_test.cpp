@@ -103,6 +103,39 @@ TEST(Options, BadNumberThrows) {
   EXPECT_THROW(opt.get_long("mc"), std::invalid_argument);
 }
 
+// Regression: get_long used to round-trip through stod, silently truncating
+// "3.7" to 3.  Non-integer values must be rejected with a clear error.
+TEST(Options, GetLongRejectsNonInteger) {
+  const char* argv[] = {"prog", "--iterations=3.7"};
+  Options opt(2, argv);
+  EXPECT_THROW(opt.get_long("iterations"), std::invalid_argument);
+  try {
+    opt.get_long("iterations");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("iterations"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("3.7"), std::string::npos);
+  }
+}
+
+// Regression: the stod round-trip also lost precision above 2^53.
+// 2^53 + 1 is the first integer a double cannot represent.
+TEST(Options, GetLongIsExactAboveDoublePrecision) {
+  const char* argv[] = {"prog", "--n=9007199254740993", "--m=-9007199254740993"};
+  Options opt(3, argv);
+  EXPECT_EQ(*opt.get_long("n"), 9007199254740993L);
+  EXPECT_EQ(*opt.get_long("m"), -9007199254740993L);
+}
+
+TEST(Options, GetLongStillAcceptsPlainIntegers) {
+  const char* argv[] = {"prog", "--a=0", "--b=-17", "--c=+4"};
+  Options opt(4, argv);
+  EXPECT_EQ(*opt.get_long("a"), 0);
+  EXPECT_EQ(*opt.get_long("b"), -17);
+  EXPECT_EQ(*opt.get_long("c"), 4);
+  EXPECT_FALSE(opt.get_long("absent").has_value());
+}
+
 TEST(Options, BenchIterationsDefaultMatchesPaper) {
   const char* argv[] = {"prog"};
   Options opt(1, argv);
