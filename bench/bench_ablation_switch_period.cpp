@@ -22,6 +22,7 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ablation_switch_period");
+  bench::TraceSession trace(options, "bench_ablation_switch_period", metrics.run_id());
   const analysis::McConfig mc = bench::mc_from_options(options);
   const std::size_t stream_len = 1 << 16;
 

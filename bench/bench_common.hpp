@@ -1,6 +1,7 @@
 // Shared scaffolding for the table/figure bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -12,7 +13,9 @@
 #include "issa/core/experiment.hpp"
 #include "issa/util/cli.hpp"
 #include "issa/util/metrics.hpp"
+#include "issa/util/runinfo.hpp"
 #include "issa/util/table.hpp"
+#include "issa/util/trace.hpp"
 
 namespace issa::bench {
 
@@ -22,14 +25,22 @@ namespace issa::bench {
 ///   <stem>.metrics.json / .csv      whole-run registry snapshot
 ///   <stem>.conditions.json / .csv   per-condition breakdown (attach_rows)
 /// The stem defaults to the bench name; --metrics=stem overrides it.
+///
+/// Every session generates a run id at construction; pass run_id() to a
+/// TraceSession so the .trace/.forensics sidecars of the same invocation can
+/// be joined with the .metrics/.conditions reports.
 class MetricsSession {
  public:
   MetricsSession(const util::Options& options, std::string_view bench_name)
       : stem_(util::metrics_report_stem(options, bench_name)),
         title_(bench_name),
+        run_id_(util::generate_run_id()),
+        start_(std::chrono::steady_clock::now()),
         active_(util::metrics_requested(options)) {
     if (active_) util::metrics::set_enabled(true);
   }
+
+  const std::string& run_id() const noexcept { return run_id_; }
 
   /// Attaches per-condition experiment rows for the breakdown report.
   void attach_rows(std::vector<core::ExperimentRow> rows) { rows_ = std::move(rows); }
@@ -37,13 +48,18 @@ class MetricsSession {
   void emit() {
     if (!active_ || emitted_) return;
     emitted_ = true;
+    util::RunInfo run;
+    run.run_id = run_id_;
+    run.wall_clock_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    run.rss_peak_kb = util::rss_peak_kb();
     const util::metrics::Snapshot snapshot = util::metrics::Registry::instance().snapshot();
     util::metrics::write_report_json(stem_ + ".metrics.json", title_, snapshot);
     util::metrics::write_report_csv(stem_ + ".metrics.csv", snapshot);
     std::cout << "wrote " << stem_ << ".metrics.json / .csv\n";
     if (!rows_.empty()) {
-      core::write_run_report_json(stem_ + ".conditions.json", title_, rows_);
-      core::write_run_report_csv(stem_ + ".conditions.csv", rows_);
+      core::write_run_report_json(stem_ + ".conditions.json", title_, rows_, run);
+      core::write_run_report_csv(stem_ + ".conditions.csv", rows_, run);
       std::cout << "wrote " << stem_ << ".conditions.json / .csv\n";
     }
   }
@@ -62,9 +78,62 @@ class MetricsSession {
  private:
   std::string stem_;
   std::string title_;
+  std::string run_id_;
+  std::chrono::steady_clock::time_point start_;
   bool active_ = false;
   bool emitted_ = false;
   std::vector<core::ExperimentRow> rows_;
+};
+
+/// Turns span tracing on when --trace (or ISSA_TRACE=1) was given and writes
+/// the trace sidecars when the bench finishes:
+///   <stem>.trace.json      Chrome trace-event JSON (Perfetto-loadable)
+///   <stem>.trace.jsonl     compact one-event-per-line stream
+///   <stem>.forensics.json  solver diagnostic bundles (only when non-empty)
+/// The stem defaults to the bench name; --trace=stem overrides it.  Pass the
+/// MetricsSession's run_id() so all sidecars of one invocation share it.
+class TraceSession {
+ public:
+  TraceSession(const util::Options& options, std::string_view bench_name, std::string run_id)
+      : stem_(util::trace_report_stem(options, bench_name)),
+        run_id_(std::move(run_id)),
+        active_(util::trace_requested(options)) {
+    if (active_) util::trace::set_enabled(true);
+  }
+
+  void emit() {
+    if (!active_ || emitted_) return;
+    emitted_ = true;
+    // Disable before draining: collect() requires quiescent producers.
+    util::trace::set_enabled(false);
+    const util::trace::TraceData data = util::trace::collect();
+    util::trace::write_chrome_json(stem_ + ".trace.json", data, run_id_);
+    util::trace::write_jsonl(stem_ + ".trace.jsonl", data);
+    std::cout << "wrote " << stem_ << ".trace.json / .jsonl (" << data.spans.size()
+              << " spans, " << data.dropped << " dropped)\n";
+    if (!data.forensics.empty()) {
+      util::trace::write_forensics_json(stem_ + ".forensics.json", data, run_id_);
+      std::cout << "wrote " << stem_ << ".forensics.json (" << data.forensics.size()
+                << " events)\n";
+    }
+  }
+
+  ~TraceSession() {
+    try {
+      emit();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace report failed: %s\n", e.what());
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string stem_;
+  std::string run_id_;
+  bool active_ = false;
+  bool emitted_ = false;
 };
 
 /// Paper reference values for one experiment row (mV / mV / mV / ps).

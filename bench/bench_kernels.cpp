@@ -145,15 +145,18 @@ BENCHMARK(BM_BtiSampleShift);
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN so --metrics works here too; the
-// flag is stripped before benchmark::Initialize (which rejects unknown args).
+// Custom main instead of BENCHMARK_MAIN so --metrics/--trace work here too;
+// the flags are stripped before benchmark::Initialize (which rejects unknown
+// args).
 int main(int argc, char** argv) {
   const issa::util::Options options(argc, argv);
   issa::bench::MetricsSession metrics(options, "bench_kernels");
+  issa::bench::TraceSession trace(options, "bench_kernels", metrics.run_id());
 
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]).rfind("--metrics", 0) == 0) continue;
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--metrics", 0) == 0 || arg.rfind("--trace", 0) == 0) continue;
     args.push_back(argv[i]);
   }
   int bench_argc = static_cast<int>(args.size());

@@ -13,6 +13,7 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table3_voltage");
+  bench::TraceSession trace(options, "bench_table3_voltage", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Table III / Fig. 5 (supply-voltage impact), MC = "

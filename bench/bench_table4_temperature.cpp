@@ -12,6 +12,7 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table4_temperature");
+  bench::TraceSession trace(options, "bench_table4_temperature", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options));
 
   std::cout << "Reproducing Table IV / Fig. 6 (temperature impact), MC = "

@@ -1,13 +1,15 @@
 // Quickstart: build a sense amplifier, give it process variation, and
 // measure its two figures of merit — offset voltage and sensing delay.
 //
-//   $ ./quickstart [--metrics[=stem]]
+//   $ ./quickstart [--metrics[=stem]] [--trace[=stem]]
 #include <cstdio>
 
 #include "issa/sa/builder.hpp"
 #include "issa/sa/measure.hpp"
 #include "issa/util/cli.hpp"
 #include "issa/util/metrics.hpp"
+#include "issa/util/runinfo.hpp"
+#include "issa/util/trace.hpp"
 #include "issa/util/units.hpp"
 #include "issa/variation/mismatch.hpp"
 
@@ -16,6 +18,8 @@ int main(int argc, char** argv) {
 
   const util::Options options(argc, argv);
   if (util::metrics_requested(options)) util::metrics::set_enabled(true);
+  if (util::trace_requested(options)) util::trace::set_enabled(true);
+  const std::string run_id = util::generate_run_id();
 
   // 1. A testbench for the standard latch-type SA of the paper's Fig. 1,
   //    at nominal conditions (Vdd = 1.0 V, 25 C, PTM-45-like devices).
@@ -61,6 +65,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s.metrics.json / .csv\n", stem.c_str());
+  }
+
+  // 7. With --trace: dump the span timeline of the same work as Chrome
+  //    trace-event JSON (load in Perfetto) plus a compact JSONL stream, and a
+  //    forensics sidecar if any solve failed.  Pipe the .trace.json through
+  //    `trace_report` for a terminal summary.
+  if (util::trace_requested(options)) {
+    const std::string stem = util::trace_report_stem(options, "quickstart");
+    util::trace::set_enabled(false);  // quiesce before draining the rings
+    const util::trace::TraceData data = util::trace::collect();
+    try {
+      util::trace::write_chrome_json(stem + ".trace.json", data, run_id);
+      util::trace::write_jsonl(stem + ".trace.jsonl", data);
+      if (!data.forensics.empty()) {
+        util::trace::write_forensics_json(stem + ".forensics.json", data, run_id);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "trace report failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote %s.trace.json / .jsonl (%zu spans)\n", stem.c_str(), data.spans.size());
   }
   return 0;
 }

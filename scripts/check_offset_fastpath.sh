@@ -26,6 +26,14 @@ echo "== building Release tree =="
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_kernels -j "$(nproc)" >/dev/null
 
+# A missing binary would otherwise die inside run_bench with its stderr
+# discarded — fail here, loudly, instead.
+if [[ ! -x "$BUILD_DIR/bench/bench_kernels" ]]; then
+  echo "FAIL: bench binary missing after build: $BUILD_DIR/bench/bench_kernels" >&2
+  echo "      (was the bench/ tree disabled in this configuration?)" >&2
+  exit 2
+fi
+
 run_bench() {
   # Appends raw "name cpu_ns" lines for every repetition to $out; the caller
   # reduces with a min over all rounds (min is the noise-robust floor for

@@ -1,21 +1,21 @@
 #!/usr/bin/env bash
-# Guards the "zero overhead when disabled" promise of the metrics layer:
-# builds the default tree (metrics compiled in, runtime-off) and a
-# -DISSA_METRICS=OFF tree, runs the hot-path kernel benchmarks in both, and
-# fails if the default build is more than TOLERANCE_PCT slower.
+# Guards the "zero overhead when disabled" promise of the span tracer: builds
+# the default tree (tracing compiled in, runtime-off) and a -DISSA_TRACE=OFF
+# tree, runs the end-to-end offset-search benchmark in both, and fails if the
+# default build is more than TOLERANCE_PCT slower.
 #
-#   $ scripts/check_metrics_overhead.sh
+#   $ scripts/check_trace_overhead.sh
 #
 # Environment overrides:
-#   TOLERANCE_PCT   allowed regression in percent        (default 1)
-#   BENCH_FILTER    google-benchmark --benchmark_filter  (default hot kernels)
+#   TOLERANCE_PCT   allowed regression in percent        (default 2)
+#   BENCH_FILTER    google-benchmark --benchmark_filter  (default BM_OffsetSearchFast$)
 #   REPETITIONS     --benchmark_repetitions per round    (default 5)
 #   ROUNDS          alternating off/on rounds            (default 3)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-TOLERANCE_PCT="${TOLERANCE_PCT:-1}"
-BENCH_FILTER="${BENCH_FILTER:-BM_MosfetEval|BM_LuFactorizeSolve|BM_SenseAmpDcSolve}"
+TOLERANCE_PCT="${TOLERANCE_PCT:-2}"
+BENCH_FILTER="${BENCH_FILTER:-BM_OffsetSearchFast\$}"
 REPETITIONS="${REPETITIONS:-5}"
 ROUNDS="${ROUNDS:-3}"
 
@@ -51,15 +51,15 @@ reduce_min() {
        END { for (n in best) printf "%s %.3f\n", n, best[n] }' "$1" | sort
 }
 
-echo "== building default tree (metrics compiled in, runtime-disabled) =="
-build_tree "$ROOT/build-metrics-on" -DISSA_METRICS=ON
-echo "== building -DISSA_METRICS=OFF tree =="
-build_tree "$ROOT/build-metrics-off" -DISSA_METRICS=OFF
+echo "== building default tree (tracing compiled in, runtime-disabled) =="
+build_tree "$ROOT/build-trace-on" -DISSA_TRACE=ON
+echo "== building -DISSA_TRACE=OFF tree =="
+build_tree "$ROOT/build-trace-off" -DISSA_TRACE=OFF
 
 # A missing binary would otherwise die inside run_bench with its stderr
 # discarded — fail here, loudly, instead.
-for binary in "$ROOT/build-metrics-on/bench/bench_kernels" \
-              "$ROOT/build-metrics-off/bench/bench_kernels"; do
+for binary in "$ROOT/build-trace-on/bench/bench_kernels" \
+              "$ROOT/build-trace-off/bench/bench_kernels"; do
   if [[ ! -x "$binary" ]]; then
     echo "FAIL: bench binary missing after build: $binary" >&2
     echo "      (was the bench/ tree disabled in this configuration?)" >&2
@@ -75,8 +75,8 @@ trap 'rm -f "$on_raw" "$off_raw" "$on_csv" "$off_csv"' EXIT
 
 echo "== running bench_kernels ($BENCH_FILTER, $ROUNDS x $REPETITIONS reps, interleaved) =="
 for ((round = 1; round <= ROUNDS; ++round)); do
-  run_bench "$ROOT/build-metrics-off/bench/bench_kernels" "$off_raw"
-  run_bench "$ROOT/build-metrics-on/bench/bench_kernels" "$on_raw"
+  run_bench "$ROOT/build-trace-off/bench/bench_kernels" "$off_raw"
+  run_bench "$ROOT/build-trace-on/bench/bench_kernels" "$on_raw"
 done
 reduce_min "$off_raw" >"$off_csv"
 reduce_min "$on_raw" >"$on_csv"
@@ -106,7 +106,7 @@ done < <(cut -d' ' -f1,2 "$off_csv") 3< <(cut -d' ' -f1,2 "$on_csv")
 
 echo
 if [[ "$fail" == 1 ]]; then
-  echo "FAIL: metrics-enabled build regresses > ${TOLERANCE_PCT}% on a hot kernel"
+  echo "FAIL: trace-enabled build regresses > ${TOLERANCE_PCT}% on the offset-search path"
   exit 1
 fi
-echo "OK: runtime-disabled metrics within ${TOLERANCE_PCT}% of compiled-out build"
+echo "OK: runtime-disabled tracing within ${TOLERANCE_PCT}% of compiled-out build"

@@ -7,6 +7,7 @@
 #include "issa/sa/double_tail.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/thread_pool.hpp"
+#include "issa/util/trace.hpp"
 #include "issa/workload/stress_map.hpp"
 
 namespace issa::analysis {
@@ -82,12 +83,52 @@ sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
 
 namespace {
 
+const char* kind_name(sa::SenseAmpKind kind) {
+  switch (kind) {
+    case sa::SenseAmpKind::kNssa:
+      return "NSSA";
+    case sa::SenseAmpKind::kIssa:
+      return "ISSA";
+    case sa::SenseAmpKind::kDoubleTail:
+      return "DT";
+    case sa::SenseAmpKind::kDoubleTailSwitching:
+      return "DT-SW";
+  }
+  return "?";
+}
+
 // Runs `body(i)` over the sample indices, in parallel when requested, with
-// per-sample work accounting.
+// per-sample work accounting.  Each sample gets a trace span carrying its
+// index and seed, plus a forensic context scope naming the operating
+// condition — a solver failure deep inside a transient can then be pinned to
+// the exact (condition, seed, sample) that produced it.
 template <typename Body>
-void for_samples(const McConfig& mc, Body&& body) {
-  auto counted = [&body](std::size_t i) {
+void for_samples(const Condition& condition, const McConfig& mc, const char* phase_name,
+                 Body&& body) {
+  util::trace::Span phase(phase_name, "mc");
+  if (phase.active()) {
+    phase.attr_u64("iterations", mc.iterations);
+    phase.attr_u64("seed", mc.seed);
+    phase.attr_str("kind", kind_name(condition.kind));
+    phase.attr_f64("vdd", condition.config.vdd);
+    phase.attr_f64("temperature_c", condition.config.temperature_c);
+    phase.attr_f64("stress_time_s", condition.stress_time_s);
+  }
+  auto counted = [&body, &condition, &mc](std::size_t i) {
     const util::metrics::Timer::Scope timing(m_sample_time());
+    util::trace::Span span(util::trace::spans::kMcSample, "mc");
+    std::vector<util::trace::Attr> context;
+    if (span.active()) {
+      span.attr_u64("sample", i);
+      span.attr_u64("seed", mc.seed);
+      context = {util::trace::Attr::u64("sample", i),
+                 util::trace::Attr::u64("seed", mc.seed),
+                 util::trace::Attr::str("kind", kind_name(condition.kind)),
+                 util::trace::Attr::f64("vdd", condition.config.vdd),
+                 util::trace::Attr::f64("temperature_c", condition.config.temperature_c),
+                 util::trace::Attr::f64("stress_time_s", condition.stress_time_s)};
+    }
+    util::trace::ContextScope ctx(std::move(context));
     body(i);
     m_samples().add();
   };
@@ -110,7 +151,7 @@ OffsetDistribution measure_offset_distribution(const Condition& condition, const
   // read-only across the pool.
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
-  for_samples(mc, [&](std::size_t i) {
+  for_samples(condition, mc, util::trace::spans::kMcOffsetDistribution, [&](std::size_t i) {
     sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
     const sa::OffsetResult r = sa::measure_offset(circuit);
     dist.offsets[i] = r.offset;
@@ -128,7 +169,7 @@ DelayDistribution measure_delay_distribution(const Condition& condition, const M
   dist.delays.resize(mc.iterations);
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
-  for_samples(mc, [&](std::size_t i) {
+  for_samples(condition, mc, util::trace::spans::kMcDelayDistribution, [&](std::size_t i) {
     sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
     const sa::DelayPair pair = sa::measure_delay(circuit);
     dist.delays[i] =

@@ -8,6 +8,7 @@
 #include "issa/device/mosfet.hpp"
 #include "issa/linalg/lu.hpp"
 #include "issa/util/metrics.hpp"
+#include "issa/util/trace.hpp"
 
 namespace issa::circuit {
 
@@ -254,9 +255,34 @@ void Simulator::assemble(const std::vector<double>& x, double t, bool transient,
   (void)n_unknowns;
 }
 
+void Simulator::record_solver_forensic(const char* kind, const char* reason,
+                                       const std::vector<double>& x, double t,
+                                       double h_or_gmin) {
+  util::trace::ForensicEvent event;
+  event.kind = kind;
+  event.attrs.push_back(util::trace::Attr::str("reason", reason));
+  event.attrs.push_back(util::trace::Attr::f64("t", t));
+  event.attrs.push_back(util::trace::Attr::f64("h_or_gmin", h_or_gmin));
+  event.attrs.push_back(util::trace::Attr::f64("temperature_k", temperature_k_));
+  event.attrs.push_back(
+      util::trace::Attr::u64("newton_iterations", static_cast<std::uint64_t>(
+                                 stats_.newton_iterations)));
+  event.residual_history = fnorm_hist_ws_;
+  event.alpha_history = alpha_hist_ws_;
+  fill_node_voltages(x, forensic_v_ws_);
+  event.node_voltages = forensic_v_ws_;
+  util::trace::record_forensic(std::move(event));
+}
+
 bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, double gmin,
                              double source_scale, const NewtonOptions& options) {
   const std::size_t n = unknown_count();
+  util::trace::Span span(util::trace::spans::kNewtonSolve, "sim");
+  const bool forensic = util::trace::forensics_enabled();
+  if (forensic) {
+    fnorm_hist_ws_.clear();
+    alpha_hist_ws_.clear();
+  }
   // All buffers are simulator-owned workspace: zero allocations per call.
   linalg::Matrix& jacobian = jacobian_ws_;
   std::vector<double>& residual = residual_ws_;
@@ -291,6 +317,20 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
   assemble(x, t, transient, gmin, source_scale, jacobian, residual);
   double fnorm = inf_norm(residual);
   int line_search_failures = 0;
+  double last_alpha = 1.0;
+  if (forensic) fnorm_hist_ws_.push_back(fnorm);
+
+  // Attaches the solve's outcome to its trace span (one branch when tracing
+  // is off) and forwards the convergence verdict.
+  auto finish = [&](bool converged, int iterations, const char* outcome) {
+    if (span.active()) {
+      span.attr_u64("iterations", static_cast<std::uint64_t>(iterations));
+      span.attr_f64("final_residual", fnorm);
+      span.attr_f64("alpha", last_alpha);
+      span.attr_str("outcome", outcome);
+    }
+    return converged;
+  };
 
   // Newton cannot land exactly on the root of a stiff exponential; the
   // attainable residual floor on nodes held only by gmin scales with the
@@ -300,7 +340,7 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++stats_.newton_iterations;
     ++telemetry.iterations;
-    if (fnorm < abstol) return true;
+    if (fnorm < abstol) return finish(true, iter, "converged_abstol");
 
     try {
       lu_ws_.factorize(jacobian);  // in place: jacobian now holds the factors
@@ -310,7 +350,7 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     } catch (const std::runtime_error&) {
       ++stats_.newton_failures;
       ++telemetry.failures;
-      return false;  // singular Jacobian: let the caller fall back
+      return finish(false, iter, "singular_jacobian");  // caller falls back
     }
 
     // Damping stage 1: clamp the voltage updates (branch currents are free).
@@ -333,7 +373,7 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
       if (++line_search_failures > 4) {
         ++stats_.newton_failures;
         ++telemetry.failures;
-        return false;
+        return finish(false, iter + 1, "line_search_stuck");
       }
     } else {
       line_search_failures = 0;
@@ -346,6 +386,11 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     x.swap(x_try);
     residual.swap(residual_try);  // jacobian/residual already match x now
     fnorm = inf_norm(residual);
+    last_alpha = ls.alpha;
+    if (forensic) {
+      fnorm_hist_ws_.push_back(fnorm);
+      alpha_hist_ws_.push_back(ls.alpha);
+    }
 
     if (std::getenv("ISSA_DEBUG_NEWTON") != nullptr) {
       // ls.alpha is the step actually taken (the line search reports the
@@ -353,16 +398,21 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
       std::fprintf(stderr, "  newton iter=%d alpha=%.3f max_dv=%.3e fnorm=%.3e\n", iter, ls.alpha,
                    max_dv, fnorm);
     }
-    if (max_dv < options.vtol && ls.improved) return true;
+    if (max_dv < options.vtol && ls.improved) return finish(true, iter + 1, "converged_vtol");
   }
   ++stats_.newton_failures;
   ++telemetry.failures;
-  return false;
+  return finish(false, options.max_iterations, "max_iterations");
 }
 
 std::vector<double> Simulator::solve_dc(const DcOptions& options) {
   ++stats_.dc_solves;
   m_dc_solves().add();
+  util::trace::Span span(util::trace::spans::kDcSolve, "sim");
+  if (span.active()) {
+    span.attr_u64("unknowns", unknown_count());
+    span.attr_u64("warm_start", options.initial_guess.empty() ? 0 : 1);
+  }
   std::vector<double> x(unknown_count(), 0.0);
   auto load_guess = [&] {
     std::fill(x.begin(), x.end(), 0.0);
@@ -411,6 +461,12 @@ std::vector<double> Simulator::solve_dc(const DcOptions& options) {
       return finish();
     }
   }
+  // Terminal: every fallback (plain, gmin homotopy, source stepping) failed.
+  // The history workspace still holds the LAST failed Newton solve.
+  if (util::trace::forensics_enabled()) {
+    record_solver_forensic("newton_nonconvergence", "dc_all_fallbacks_failed", x, 0.0,
+                           options.newton.gmin);
+  }
   throw ConvergenceError("solve_dc: Newton failed to converge");
 }
 
@@ -445,6 +501,11 @@ void Simulator::accept_step(const std::vector<double>& x) {
 TransientResult Simulator::run_transient(const TransientOptions& options) {
   if (!(options.tstop > 0.0) || !(options.dt > 0.0)) {
     throw std::invalid_argument("run_transient: tstop and dt must be > 0");
+  }
+  util::trace::Span span(util::trace::spans::kTransient, "sim");
+  if (span.active()) {
+    span.attr_f64("tstop", options.tstop);
+    span.attr_f64("dt", options.dt);
   }
 
   // Starting point: DC at t = 0, then apply explicit overrides.
@@ -514,6 +575,11 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
         break;
       }
       if (++halvings > options.max_step_halvings) {
+        // Terminal: the step-size control collapsed.  x is the last ACCEPTED
+        // state; the history workspace holds the last failed Newton solve.
+        if (util::trace::forensics_enabled()) {
+          record_solver_forensic("transient_step_collapse", "max_step_halvings", x, t, h);
+        }
         throw ConvergenceError("run_transient: Newton failed at t = " + std::to_string(t));
       }
       ++stats_.step_rejections;
@@ -525,8 +591,13 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     if (options.stop_condition && options.stop_condition(t, node_v)) {
       ++stats_.early_exits;
       m_early_exits().add();
+      if (span.active()) span.attr_u64("early_exit", 1);
       break;
     }
+  }
+  if (span.active()) {
+    span.attr_u64("steps", result.steps());
+    span.attr_f64("t_end", t);
   }
   return result;
 }

@@ -216,6 +216,14 @@ class Simulator {
   bool newton_solve(std::vector<double>& x, double t, bool transient, double gmin,
                     double source_scale, const NewtonOptions& options);
 
+  // Trace forensics: emits a diagnostic bundle (kind + reason, the residual/
+  // alpha histories of the last Newton solve, the node voltages implied by
+  // x) when trace::forensics_enabled().  Called only on TERMINAL failures —
+  // recovered fallbacks (gmin homotopy stages, transient step halvings) are
+  // normal control flow and would drown the bounded forensic list.
+  void record_solver_forensic(const char* kind, const char* reason,
+                              const std::vector<double>& x, double t, double h_or_gmin);
+
   // Prepares each capacitor's companion (geq/ieq) for a step of size h.
   void prepare_companions(double h, IntegrationMethod method);
   // Accepts the step: refreshes stored capacitor voltage/current from x.
@@ -246,6 +254,13 @@ class Simulator {
   std::vector<double> step_x_try_ws_; // transient per-step trial unknowns
   std::vector<double> node_v_ws_;     // full node voltages per accepted step
   std::vector<double> last_dc_;       // most recent DC solution
+
+  // Forensic history workspace: filled by newton_solve only while
+  // trace::forensics_enabled(), read by record_solver_forensic.  Reused
+  // across solves (no allocation once warm), untouched when tracing is off.
+  std::vector<double> fnorm_hist_ws_;
+  std::vector<double> alpha_hist_ws_;
+  std::vector<double> forensic_v_ws_;
 };
 
 }  // namespace issa::circuit

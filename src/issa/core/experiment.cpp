@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "issa/util/csv.hpp"
+#include "issa/util/trace.hpp"
 #include "issa/util/units.hpp"
 
 namespace issa::core {
@@ -18,8 +19,19 @@ std::string ExperimentRow::condition_label() const {
 
 void write_run_report_json(const std::string& path, std::string_view title,
                            const std::vector<ExperimentRow>& rows) {
+  write_run_report_json(path, title, rows, util::RunInfo{});
+}
+
+void write_run_report_json(const std::string& path, std::string_view title,
+                           const std::vector<ExperimentRow>& rows, const util::RunInfo& run) {
   std::ostringstream os;
-  os << "{\n  \"title\": \"" << title << "\",\n  \"conditions\": [";
+  os << "{\n  \"title\": \"" << title << "\",\n";
+  if (!run.empty()) {
+    os << "  \"run_id\": \"" << run.run_id << "\",\n";
+    os << "  \"wall_clock_s\": " << run.wall_clock_s << ",\n";
+    os << "  \"rss_peak_kb\": " << run.rss_peak_kb << ",\n";
+  }
+  os << "  \"conditions\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
     // Indent the per-condition metrics document under its condition label.
@@ -40,15 +52,29 @@ void write_run_report_json(const std::string& path, std::string_view title,
 }
 
 void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows) {
-  util::CsvWriter csv(path, {"condition", "metric", "kind", "count", "total_ns", "mean_ns"});
+  write_run_report_csv(path, rows, util::RunInfo{});
+}
+
+void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows,
+                          const util::RunInfo& run) {
+  util::CsvWriter csv(path,
+                      {"run_id", "condition", "metric", "kind", "count", "total_ns", "mean_ns"});
+  if (!run.empty()) {
+    // Run-level provenance rides in the same table: one pseudo-metric row per
+    // quantity, keyed by the shared run id.
+    csv.add_row(std::vector<std::string>{run.run_id, "-", "run.wall_clock_s", "run",
+                                         std::to_string(run.wall_clock_s), "0", "0"});
+    csv.add_row(std::vector<std::string>{run.run_id, "-", "run.rss_peak_kb", "run",
+                                         std::to_string(run.rss_peak_kb), "0", "0"});
+  }
   for (const auto& row : rows) {
     const std::string label = row.condition_label();
     for (const auto& e : row.metrics.entries) {
       const char* kind = e.kind == util::metrics::Kind::kCounter   ? "counter"
                          : e.kind == util::metrics::Kind::kTimer   ? "timer"
                                                                    : "histogram";
-      csv.add_row(std::vector<std::string>{label, e.name, kind, std::to_string(e.count),
-                                           std::to_string(e.total_ns),
+      csv.add_row(std::vector<std::string>{run.run_id, label, e.name, kind,
+                                           std::to_string(e.count), std::to_string(e.total_ns),
                                            std::to_string(e.mean_ns())});
     }
   }
@@ -90,6 +116,15 @@ ExperimentRow ExperimentRunner::run_cell(sa::SenseAmpKind kind,
                                          double temperature_c) {
   const analysis::Condition condition =
       make_condition(kind, workload, stress_time_s, vdd_scale, temperature_c);
+
+  util::trace::Span span(util::trace::spans::kExperimentCell, "experiment");
+  if (span.active()) {
+    span.attr_str("scheme", kind == sa::SenseAmpKind::kNssa ? "NSSA" : "ISSA");
+    span.attr_str("workload", workload_label(kind, workload, stress_time_s));
+    span.attr_f64("vdd", condition.config.vdd);
+    span.attr_f64("temperature_c", temperature_c);
+    span.attr_f64("stress_time_s", stress_time_s);
+  }
 
   // Scoped snapshot: the cell's report shows only the work this cell did.
   const util::metrics::Snapshot before =

@@ -15,6 +15,7 @@
 
 #include "issa/analysis/montecarlo.hpp"
 #include "issa/util/metrics.hpp"
+#include "issa/util/runinfo.hpp"
 
 namespace issa::core {
 
@@ -40,9 +41,16 @@ struct ExperimentRow {
 /// Writes the per-condition run report of a row set: one JSON document and
 /// one CSV file (one line per condition x metric) built from each row's
 /// metrics snapshot.  No-ops (writes empty reports) when metrics were off.
+/// The RunInfo overloads additionally stamp the report with the run id shared
+/// by every sidecar of the run (.metrics/.conditions/.trace/.forensics), the
+/// wall-clock duration, and the process peak RSS.
 void write_run_report_json(const std::string& path, std::string_view title,
                            const std::vector<ExperimentRow>& rows);
+void write_run_report_json(const std::string& path, std::string_view title,
+                           const std::vector<ExperimentRow>& rows, const util::RunInfo& run);
 void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows);
+void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows,
+                          const util::RunInfo& run);
 
 /// A (time, delay) series for Fig. 7.
 struct DelayAgingSeries {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "issa/util/metrics.hpp"
+#include "issa/util/trace.hpp"
 
 namespace issa::linalg {
 
@@ -40,6 +41,8 @@ LuFactorization::LuFactorization(const Matrix& a, double min_pivot) : owned_(a) 
 }
 
 void LuFactorization::factorize(Matrix& a, double min_pivot) {
+  util::trace::Span span(util::trace::spans::kLuFactorize, "lu");
+  if (span.active()) span.attr_u64("n", a.rows());
   // One enabled() check covers both counter and timer; when metrics are off
   // the factorization pays a single relaxed load.
   const bool monitored = util::metrics::enabled();
@@ -87,6 +90,7 @@ void LuFactorization::factorize(Matrix& a, double min_pivot) {
 }
 
 void LuFactorization::solve_in_place(std::span<double> b) const {
+  util::trace::Span span(util::trace::spans::kLuSolve, "lu");
   const bool monitored = util::metrics::enabled();
   const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
   if (monitored) m_solves().add();

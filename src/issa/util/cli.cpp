@@ -101,4 +101,15 @@ std::string metrics_report_stem(const Options& options, std::string_view default
   return std::string(default_stem);
 }
 
+bool trace_requested(const Options& options) {
+  if (options.has_flag("trace")) return true;
+  const char* env = std::getenv("ISSA_TRACE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+std::string trace_report_stem(const Options& options, std::string_view default_stem) {
+  if (const auto v = options.get_string("trace"); v && !v->empty()) return *v;
+  return std::string(default_stem);
+}
+
 }  // namespace issa::util

@@ -45,4 +45,15 @@ bool metrics_requested(const Options& options);
 /// otherwise `default_stem`.  Reports land at <stem>.metrics.json/.csv.
 std::string metrics_report_stem(const Options& options, std::string_view default_stem);
 
+/// True when --trace (or --trace=stem) was passed, or the ISSA_TRACE
+/// environment variable is set to a non-empty, non-"0" value.  Callers turn
+/// collection on with util::trace::set_enabled(true) when this holds.
+bool trace_requested(const Options& options);
+
+/// Output stem for trace sidecars: the value of --trace=stem when given,
+/// otherwise `default_stem`.  Sidecars land at <stem>.trace.json / .jsonl
+/// (plus <stem>.forensics.json when solver failures were captured), mirroring
+/// the --metrics naming so one stem correlates both report families.
+std::string trace_report_stem(const Options& options, std::string_view default_stem);
+
 }  // namespace issa::util

@@ -130,6 +130,20 @@ class Histogram {
     total_.fetch_add(v, std::memory_order_relaxed);
   }
 
+  /// Floating-point entry point: NaN and negative values are dropped (they
+  /// carry no magnitude to bucket), values beyond the uint64 range clamp to
+  /// the overflow bucket.  Finite in-range values round to nearest.
+  void record_double(double v) noexcept {
+    if (!enabled()) return;
+    if (!(v >= 0.0)) return;  // false for NaN and negatives
+    if (v >= 18446744073709549568.0) {  // largest double below 2^64
+      buckets_[kBuckets - 1].fetch_add(1, std::memory_order_relaxed);
+      total_.fetch_add(~std::uint64_t{0}, std::memory_order_relaxed);
+      return;
+    }
+    record(static_cast<std::uint64_t>(v + 0.5));
+  }
+
   std::uint64_t count() const noexcept;
   std::uint64_t total() const noexcept;
   std::uint64_t bucket(std::size_t b) const noexcept;
@@ -176,6 +190,7 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = 40;
   void record(std::uint64_t) noexcept {}
+  void record_double(double) noexcept {}
   std::uint64_t count() const noexcept { return 0; }
   std::uint64_t total() const noexcept { return 0; }
   std::uint64_t bucket(std::size_t) const noexcept { return 0; }

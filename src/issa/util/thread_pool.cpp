@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "issa/util/metrics.hpp"
+#include "issa/util/trace.hpp"
 
 namespace issa::util {
 
@@ -54,6 +55,12 @@ void ThreadPool::run_task(Task task) {
     queue_latency().record(metrics::monotonic_ns() - task.enqueue_ns);
   }
   tasks_executed().add();
+  // Task spans make worker utilization visible in the trace timeline: the
+  // gap between pool.task spans on a tid is idle/queueing time.
+  trace::Span span(trace::spans::kPoolTask, "pool");
+  if (span.active() && task.enqueue_ns != 0) {
+    span.attr_u64("queue_ns", metrics::monotonic_ns() - task.enqueue_ns);
+  }
   task.fn();
 }
 
@@ -86,7 +93,7 @@ bool ThreadPool::try_run_one() {
 void ThreadPool::enqueue(std::function<void()> fn) {
   Task task;
   task.fn = std::move(fn);
-  if (metrics::enabled()) task.enqueue_ns = metrics::monotonic_ns();
+  if (metrics::enabled() || trace::enabled()) task.enqueue_ns = metrics::monotonic_ns();
   tasks_enqueued().add();
   {
     std::lock_guard lock(mutex_);

@@ -46,7 +46,7 @@ class ThreadPool {
  private:
   struct Task {
     std::function<void()> fn;
-    std::uint64_t enqueue_ns = 0;  // set only while metrics are enabled
+    std::uint64_t enqueue_ns = 0;  // set only while metrics or tracing are enabled
   };
 
   void worker_loop();

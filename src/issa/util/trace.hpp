@@ -1,0 +1,247 @@
+// Hierarchical span tracing: where the wall-clock of a run goes, span by
+// span, plus failure forensics for the nonlinear solver.
+//
+// Model: a Span is an RAII scope.  Opening one pushes onto a thread-local
+// stack (giving every span its nesting depth and its ancestors for forensic
+// context); closing one appends a completed-span record to a per-thread ring
+// buffer.  The producer path is lock-free: a monotonically increasing local
+// sequence number plus a plain write into the thread's own ring slot — no
+// shared write line, no mutex, no allocation for attribute-free spans.  The
+// rings are drained by collect() once the traced region has quiesced (the
+// session helpers disable tracing first), and the merged event set serializes
+// to Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) and to
+// a compact JSONL stream.
+//
+// The same two off switches as util/metrics:
+//  - compile time: -DISSA_TRACE=OFF turns every class below into an empty
+//    no-op (ISSA_TRACE_ENABLED == 0), so instrumented sites compile away;
+//  - run time: tracing starts disabled and every span site pays one relaxed
+//    atomic load + predicted branch until set_enabled(true) (the --trace CLI
+//    flag or the ISSA_TRACE environment variable).
+//
+// Forensics: when a Newton solve gives up or a transient's step-size control
+// collapses, the solver captures a diagnostic bundle — residual and damping
+// histories, the node-voltage vector, the enclosing span path, and whatever
+// key/value context the caller pushed (sample index, RNG seed, operating
+// condition) via ContextScope.  Bundles are rare by construction, so they go
+// through a mutex-protected bounded list; the hot path only ever asks a
+// single relaxed question ("are forensics on?") before doing any work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef ISSA_TRACE_ENABLED
+#define ISSA_TRACE_ENABLED 1
+#endif
+
+namespace issa::util::trace {
+
+/// Tuning knobs; set with configure() BEFORE enabling.  The defaults hold a
+/// quickstart-sized run without dropping; long Monte-Carlo campaigns wrap
+/// (oldest events overwritten, counted in TraceData::dropped).
+struct TraceConfig {
+  std::size_t ring_capacity = 1u << 16;  ///< completed spans kept per thread
+  bool forensics = true;                 ///< capture solver diagnostic bundles
+  std::size_t max_forensic_events = 64;  ///< bound on stored bundles
+};
+
+/// Turns span collection on or off at run time (default: off).
+void set_enabled(bool on) noexcept;
+
+#if ISSA_TRACE_ENABLED
+bool enabled() noexcept;
+/// True when tracing is on AND the config asks for forensic bundles.  One
+/// relaxed load; solver failure paths check this before assembling anything.
+bool forensics_enabled() noexcept;
+#else
+constexpr bool enabled() noexcept { return false; }
+constexpr bool forensics_enabled() noexcept { return false; }
+#endif
+
+/// Installs a config.  Call while tracing is disabled; an installed ring
+/// capacity applies to buffers created after the call (threads register their
+/// ring lazily on first span).
+void configure(const TraceConfig& config);
+TraceConfig config();
+
+/// One typed key/value pair attached to a span or forensic event.  Keys are
+/// string literals (the tracer stores the pointer, not a copy).
+struct Attr {
+  enum class Type { kUint, kDouble, kString };
+  const char* key = "";
+  Type type = Type::kUint;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+
+  static Attr u64(const char* key, std::uint64_t value) {
+    Attr a;
+    a.key = key;
+    a.type = Type::kUint;
+    a.u = value;
+    return a;
+  }
+  static Attr f64(const char* key, double value) {
+    Attr a;
+    a.key = key;
+    a.type = Type::kDouble;
+    a.d = value;
+    return a;
+  }
+  static Attr str(const char* key, std::string value) {
+    Attr a;
+    a.key = key;
+    a.type = Type::kString;
+    a.s = std::move(value);
+    return a;
+  }
+};
+
+/// A completed span as drained from a thread ring.
+struct SpanEvent {
+  const char* name = "";      ///< string literal passed to the Span
+  const char* category = "";  ///< coarse grouping ("sim", "mc", "pool", ...)
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< stable small per-thread index (0, 1, ...)
+  std::uint32_t depth = 0; ///< nesting depth at open time (0 = top level)
+  std::vector<Attr> attrs;
+};
+
+/// Diagnostic bundle captured at a solver failure.
+struct ForensicEvent {
+  std::string kind;    ///< "newton_nonconvergence" | "transient_step_collapse"
+  std::uint64_t time_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::string> span_path;  ///< enclosing spans, outermost first
+  std::vector<Attr> attrs;             ///< thread context + caller extras
+  std::vector<double> residual_history;  ///< |F| per Newton iteration
+  std::vector<double> alpha_history;     ///< accepted damping per iteration
+  std::vector<double> node_voltages;     ///< full node vector at failure
+};
+
+#if ISSA_TRACE_ENABLED
+
+/// RAII span.  Construction reads the clock and pushes the thread stack only
+/// when tracing is enabled; destruction pops and commits the record.  `name`
+/// and `category` must be string literals (or otherwise outlive collect()).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "app") noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const noexcept { return active_; }
+
+  /// Attach attributes (no-ops on an inactive span).
+  void attr_u64(const char* key, std::uint64_t value);
+  void attr_f64(const char* key, double value);
+  void attr_str(const char* key, std::string value);
+
+ private:
+  bool active_;
+  std::uint64_t start_ns_ = 0;
+  const char* name_ = "";
+  const char* category_ = "";
+  std::vector<Attr> attrs_;
+};
+
+/// Pushes key/value context onto the calling thread for the lifetime of the
+/// scope; forensic bundles copy the full context stack.  The Monte-Carlo
+/// loop pushes (sample, seed, vdd, T, ...) so a solver failure deep inside a
+/// transient can name the exact sample that produced it.
+class ContextScope {
+ public:
+  explicit ContextScope(std::vector<Attr> attrs);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  std::size_t pushed_;
+};
+
+#else  // !ISSA_TRACE_ENABLED: structural no-ops.
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = "app") noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  bool active() const noexcept { return false; }
+  void attr_u64(const char*, std::uint64_t) {}
+  void attr_f64(const char*, double) {}
+  void attr_str(const char*, std::string) {}
+};
+
+class ContextScope {
+ public:
+  explicit ContextScope(std::vector<Attr>) {}
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+};
+
+#endif  // ISSA_TRACE_ENABLED
+
+/// Records a forensic bundle (fills time_ns/tid/span_path/context attrs from
+/// the calling thread; the caller supplies everything else).  No-op unless
+/// forensics_enabled(); the stored list is bounded by max_forensic_events
+/// (further events only bump TraceData::forensics_dropped).
+void record_forensic(ForensicEvent event);
+
+/// Everything collected so far: all thread rings merged (sorted by start
+/// time) plus the forensic list.  Call with tracing disabled or the traced
+/// region quiescent — draining does not synchronize with producers.
+struct TraceData {
+  std::vector<SpanEvent> spans;
+  std::vector<ForensicEvent> forensics;
+  std::uint64_t dropped = 0;            ///< spans lost to ring wrap-around
+  std::uint64_t forensics_dropped = 0;  ///< bundles past max_forensic_events
+};
+
+TraceData collect();
+
+/// Drops every buffered span and forensic event (rings stay registered).
+void clear();
+
+/// Chrome trace-event JSON: {"traceEvents": [...], "metadata": {...}}.
+/// Spans become complete ("ph":"X") events with microsecond timestamps;
+/// forensic bundles become instant ("ph":"i") events so they show up on the
+/// timeline; thread-name metadata records the tid mapping.
+std::string to_chrome_json(const TraceData& data, std::string_view run_id = {});
+
+/// Compact JSONL: one {"name",...} object per line, nanosecond timestamps,
+/// forensic events flagged with "forensic": true.
+std::string to_jsonl(const TraceData& data);
+
+/// Forensic sidecar: {"run_id", "events": [...]} with full histories.
+std::string forensics_to_json(const TraceData& data, std::string_view run_id = {});
+
+/// File writers; throw std::runtime_error on I/O failure.
+void write_chrome_json(const std::string& path, const TraceData& data,
+                       std::string_view run_id = {});
+void write_jsonl(const std::string& path, const TraceData& data);
+void write_forensics_json(const std::string& path, const TraceData& data,
+                          std::string_view run_id = {});
+
+/// Well-known span names (one taxonomy across the stack; see DESIGN.md §13).
+namespace spans {
+inline constexpr const char* kExperimentCell = "experiment.cell";
+inline constexpr const char* kMcOffsetDistribution = "mc.offset_distribution";
+inline constexpr const char* kMcDelayDistribution = "mc.delay_distribution";
+inline constexpr const char* kMcSample = "mc.sample";
+inline constexpr const char* kDcSolve = "sim.dc_solve";
+inline constexpr const char* kTransient = "sim.transient";
+inline constexpr const char* kNewtonSolve = "sim.newton_solve";
+inline constexpr const char* kLuFactorize = "lu.factorize";
+inline constexpr const char* kLuSolve = "lu.solve";
+inline constexpr const char* kPoolTask = "pool.task";
+}  // namespace spans
+
+}  // namespace issa::util::trace

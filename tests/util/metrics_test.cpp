@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -102,6 +103,67 @@ TEST_F(MetricsTest, HistogramBucketsByLog2) {
   EXPECT_EQ(h.bucket(1), 1u);
   EXPECT_EQ(h.bucket(2), 2u);
   EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST_F(MetricsTest, HistogramRecordDoubleRoundsSubUnitValues) {
+  Histogram& h = Registry::instance().histogram("test.hist_double_low");
+  h.record_double(0.4);  // rounds to 0 -> bucket 0
+  h.record_double(0.6);  // rounds to 1 -> bucket 1
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST_F(MetricsTest, HistogramRecordDoubleClampsOverflowToLastBucket) {
+  Histogram& h = Registry::instance().histogram("test.hist_double_over");
+  h.record_double(1e30);                    // far beyond uint64
+  h.record_double(18446744073709549568.0);  // largest double below 2^64
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 2u);
+  for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket(b), 0u) << "bucket " << b;
+  }
+}
+
+TEST_F(MetricsTest, HistogramRecordDoubleDropsNaNAndNegatives) {
+  Histogram& h = Registry::instance().histogram("test.hist_double_nan");
+  h.record_double(std::numeric_limits<double>::quiet_NaN());
+  h.record_double(-std::numeric_limits<double>::quiet_NaN());
+  h.record_double(-1.0);
+  h.record_double(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+  h.record_double(2.0);  // still usable after the dropped inputs
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST_F(MetricsTest, SnapshotMergesStripesExactly) {
+  // More threads than stripes forces every cache-line cell to carry several
+  // threads' contributions; the snapshot must still be the exact sum.
+  Counter& c = Registry::instance().counter("test.stripe_merge");
+  Timer& t = Registry::instance().timer("test.stripe_merge_t");
+  constexpr std::size_t kThreads = 2 * detail::kStripes + 3;
+  constexpr std::uint64_t kAdds = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&c, &t, i] {
+      for (std::uint64_t k = 0; k < kAdds; ++k) {
+        c.add(i + 1);
+        t.record_ns(i + 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Sum over i of kAdds * (i + 1).
+  const std::uint64_t expected = kAdds * kThreads * (kThreads + 1) / 2;
+  const Snapshot snap = Registry::instance().snapshot();
+  EXPECT_EQ(snap.value("test.stripe_merge"), expected);
+  const SnapshotEntry* timer_entry = snap.find("test.stripe_merge_t");
+  ASSERT_NE(timer_entry, nullptr);
+  EXPECT_EQ(timer_entry->count, kThreads * kAdds);
+  EXPECT_EQ(timer_entry->total_ns, expected);
 }
 
 TEST_F(MetricsTest, RegistryReturnsSameMetricForSameName) {

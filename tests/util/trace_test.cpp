@@ -1,0 +1,413 @@
+// Tests for the hierarchical span tracer: ring collection, nesting depth
+// under recursive parallel_for, forensic bundles with thread context, the
+// runtime-disabled no-op path, ring overflow accounting, and a Chrome
+// trace-event JSON round trip through the in-tree JSON parser.
+#include "issa/util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "issa/circuit/simulator.hpp"
+#include "issa/device/mos_params.hpp"
+#include "issa/util/json.hpp"
+#include "issa/util/thread_pool.hpp"
+
+namespace issa::util::trace {
+namespace {
+
+// Every test starts from a clean, enabled tracer and leaves tracing disabled
+// (the process-wide default) so other suites see no residue.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    configure(TraceConfig{});
+    clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear();
+    configure(TraceConfig{});
+  }
+};
+
+#if ISSA_TRACE_ENABLED
+
+TEST_F(TraceTest, SpanRecordsNameCategoryAndDuration) {
+  {
+    Span span("test.outer", "test");
+    span.attr_u64("answer", 42);
+    span.attr_f64("pi", 3.25);
+    span.attr_str("tag", "hello");
+  }
+  set_enabled(false);
+  const TraceData data = collect();
+  ASSERT_EQ(data.spans.size(), 1u);
+  const SpanEvent& e = data.spans[0];
+  EXPECT_STREQ(e.name, "test.outer");
+  EXPECT_STREQ(e.category, "test");
+  EXPECT_EQ(e.depth, 0u);
+  ASSERT_EQ(e.attrs.size(), 3u);
+  EXPECT_EQ(e.attrs[0].u, 42u);
+  EXPECT_DOUBLE_EQ(e.attrs[1].d, 3.25);
+  EXPECT_EQ(e.attrs[2].s, "hello");
+}
+
+TEST_F(TraceTest, NestedSpansCarryDepthAndContainment) {
+  {
+    Span outer("test.a", "test");
+    {
+      Span mid("test.b", "test");
+      { Span inner("test.c", "test"); }
+    }
+  }
+  set_enabled(false);
+  const TraceData data = collect();
+  ASSERT_EQ(data.spans.size(), 3u);
+  std::map<std::string, const SpanEvent*> by_name;
+  for (const auto& e : data.spans) by_name[e.name] = &e;
+  EXPECT_EQ(by_name.at("test.a")->depth, 0u);
+  EXPECT_EQ(by_name.at("test.b")->depth, 1u);
+  EXPECT_EQ(by_name.at("test.c")->depth, 2u);
+  // Children are contained in their parents' intervals.
+  const auto contains = [](const SpanEvent* outer, const SpanEvent* inner) {
+    return outer->start_ns <= inner->start_ns &&
+           inner->start_ns + inner->dur_ns <= outer->start_ns + outer->dur_ns;
+  };
+  EXPECT_TRUE(contains(by_name.at("test.a"), by_name.at("test.b")));
+  EXPECT_TRUE(contains(by_name.at("test.b"), by_name.at("test.c")));
+}
+
+TEST_F(TraceTest, NestingHoldsUnderRecursiveParallelFor) {
+  // Recursive parallel_for is the hardest nesting case: the caller-helps
+  // drain means one thread can execute a nested task in the middle of its
+  // own outer task.  The per-thread stack must still pair up: within each
+  // tid, spans at depth d+1 open while exactly one depth-d span is open.
+  ThreadPool pool(4);
+  pool.parallel_for(0, 8, [&pool](std::size_t) {
+    Span outer("test.outer", "test");
+    pool.parallel_for(0, 4, [](std::size_t) { Span inner("test.inner", "test"); });
+  });
+  set_enabled(false);
+  const TraceData data = collect();
+
+  std::size_t outer_count = 0;
+  std::size_t inner_count = 0;
+  std::map<std::uint32_t, std::vector<const SpanEvent*>> by_tid;
+  for (const auto& e : data.spans) {
+    by_tid[e.tid].push_back(&e);
+    if (std::string_view(e.name) == "test.outer") ++outer_count;
+    if (std::string_view(e.name) == "test.inner") ++inner_count;
+  }
+  EXPECT_EQ(outer_count, 8u);
+  EXPECT_EQ(inner_count, 32u);
+
+  // Stack discipline per thread: replaying the events in time order, a
+  // span's recorded depth must equal the number of still-open spans that
+  // strictly contain it on the same thread.
+  for (const auto& [tid, events] : by_tid) {
+    for (const SpanEvent* e : events) {
+      std::size_t open = 0;
+      for (const SpanEvent* other : events) {
+        if (other == e) continue;
+        if (other->start_ns <= e->start_ns &&
+            e->start_ns + e->dur_ns <= other->start_ns + other->dur_ns) {
+          ++open;
+        }
+      }
+      EXPECT_EQ(e->depth, open) << e->name << " on tid " << tid;
+    }
+  }
+}
+
+TEST_F(TraceTest, RuntimeDisabledCollectsNothing) {
+  set_enabled(false);
+  {
+    Span span("test.off", "test");
+    EXPECT_FALSE(span.active());
+    span.attr_u64("ignored", 1);
+  }
+  record_forensic(ForensicEvent{});
+  const TraceData data = collect();
+  EXPECT_TRUE(data.spans.empty());
+  EXPECT_TRUE(data.forensics.empty());
+  EXPECT_EQ(data.dropped, 0u);
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
+  set_enabled(false);
+  TraceConfig small;
+  small.ring_capacity = 8;
+  configure(small);
+  set_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    Span span("test.wrap", "test");
+    span.attr_u64("i", static_cast<std::uint64_t>(i));
+  }
+  set_enabled(false);
+  const TraceData data = collect();
+  ASSERT_EQ(data.spans.size(), 8u);
+  EXPECT_EQ(data.dropped, 12u);
+  // The survivors are the newest events, oldest-first.
+  for (std::size_t k = 0; k < data.spans.size(); ++k) {
+    ASSERT_EQ(data.spans[k].attrs.size(), 1u);
+    EXPECT_EQ(data.spans[k].attrs[0].u, 12u + k);
+  }
+}
+
+TEST_F(TraceTest, ForensicCapturesSpanPathAndThreadContext) {
+  {
+    Span outer("test.phase", "test");
+    ContextScope ctx({Attr::u64("sample", 7), Attr::str("kind", "NSSA")});
+    Span inner("test.solve", "test");
+    ForensicEvent event;
+    event.kind = "newton_nonconvergence";
+    event.attrs.push_back(Attr::str("reason", "unit"));
+    event.residual_history = {1.0, 0.5, 0.25};
+    record_forensic(std::move(event));
+  }
+  set_enabled(false);
+  const TraceData data = collect();
+  ASSERT_EQ(data.forensics.size(), 1u);
+  const ForensicEvent& f = data.forensics[0];
+  EXPECT_EQ(f.kind, "newton_nonconvergence");
+  ASSERT_EQ(f.span_path.size(), 2u);
+  EXPECT_EQ(f.span_path[0], "test.phase");
+  EXPECT_EQ(f.span_path[1], "test.solve");
+  // Thread context first, caller extras after.
+  ASSERT_EQ(f.attrs.size(), 3u);
+  EXPECT_STREQ(f.attrs[0].key, "sample");
+  EXPECT_EQ(f.attrs[0].u, 7u);
+  EXPECT_STREQ(f.attrs[1].key, "kind");
+  EXPECT_STREQ(f.attrs[2].key, "reason");
+  ASSERT_EQ(f.residual_history.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.residual_history.back(), 0.25);
+}
+
+TEST_F(TraceTest, ForensicListIsBounded) {
+  set_enabled(false);
+  TraceConfig cfg;
+  cfg.max_forensic_events = 2;
+  configure(cfg);
+  set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    ForensicEvent event;
+    event.kind = std::to_string(i);
+    record_forensic(std::move(event));
+  }
+  set_enabled(false);
+  const TraceData data = collect();
+  EXPECT_EQ(data.forensics.size(), 2u);
+  EXPECT_EQ(data.forensics_dropped, 3u);
+}
+
+TEST_F(TraceTest, TerminalDcFailureRecordsForensicBundle) {
+  // End-to-end forensics through the real solver: strangling the Newton
+  // budget to one iteration defeats plain Newton, the gmin homotopy, and
+  // source stepping alike on a nonlinear circuit, so solve_dc must throw and
+  // leave exactly one terminal bundle carrying the caller's thread context.
+  circuit::Netlist net;
+  const circuit::NodeId vdd = net.node("vdd");
+  const circuit::NodeId in = net.node("in");
+  const circuit::NodeId out = net.node("out");
+  net.add_vsource("Vdd", vdd, circuit::kGround, circuit::SourceWave::dc(1.0));
+  net.add_vsource("Vin", in, circuit::kGround, circuit::SourceWave::dc(0.5));
+  device::MosInstance mn;
+  mn.card = device::ptm45_nmos();
+  mn.type = device::MosType::kNmos;
+  mn.w_over_l = 2.5;
+  device::MosInstance mp;
+  mp.card = device::ptm45_pmos();
+  mp.type = device::MosType::kPmos;
+  mp.w_over_l = 5.0;
+  net.add_mosfet("MN", mn, in, out, circuit::kGround, circuit::kGround);
+  net.add_mosfet("MP", mp, in, out, vdd, vdd);
+
+  circuit::Simulator sim(net, 298.15);
+  circuit::DcOptions opts;
+  opts.newton.max_iterations = 1;
+
+  ContextScope ctx({Attr::u64("sample", 13), Attr::str("kind", "unit")});
+  EXPECT_THROW(sim.solve_dc(opts), circuit::ConvergenceError);
+
+  set_enabled(false);
+  const TraceData data = collect();
+  ASSERT_EQ(data.forensics.size(), 1u);
+  const ForensicEvent& f = data.forensics[0];
+  EXPECT_EQ(f.kind, "newton_nonconvergence");
+  // Thread context first, then the solver's own attrs.
+  ASSERT_GE(f.attrs.size(), 3u);
+  EXPECT_STREQ(f.attrs[0].key, "sample");
+  EXPECT_EQ(f.attrs[0].u, 13u);
+  bool reason_ok = false;
+  for (const Attr& a : f.attrs) {
+    if (std::string_view(a.key) == "reason") reason_ok = (a.s == "dc_all_fallbacks_failed");
+  }
+  EXPECT_TRUE(reason_ok);
+  // The history workspace holds the last failed solve; node voltages cover
+  // every node including ground.
+  EXPECT_FALSE(f.residual_history.empty());
+  EXPECT_EQ(f.node_voltages.size(), 4u);
+  // Recorded while the DC span was still open.
+  ASSERT_FALSE(f.span_path.empty());
+  EXPECT_EQ(f.span_path.back(), spans::kDcSolve);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  { Span span("test.cleared", "test"); }
+  clear();
+  set_enabled(false);
+  const TraceData data = collect();
+  EXPECT_TRUE(data.spans.empty());
+}
+
+#else  // compile-disabled build: everything is a structural no-op.
+
+TEST_F(TraceTest, CompileDisabledEverythingIsNoOp) {
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(forensics_enabled());
+  set_enabled(true);
+  EXPECT_FALSE(enabled());
+  {
+    Span span("test.off", "test");
+    EXPECT_FALSE(span.active());
+    span.attr_u64("ignored", 1);
+    span.attr_f64("ignored", 1.0);
+    span.attr_str("ignored", "x");
+    ContextScope ctx({Attr::u64("sample", 1)});
+  }
+  record_forensic(ForensicEvent{});
+  const TraceData data = collect();
+  EXPECT_TRUE(data.spans.empty());
+  EXPECT_TRUE(data.forensics.empty());
+}
+
+#endif  // ISSA_TRACE_ENABLED
+
+// Serialization is compiled in both modes; these round-trip what the writers
+// produce through the in-tree JSON parser.
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughParser) {
+#if ISSA_TRACE_ENABLED
+  {
+    Span outer("test.rt_outer", "test");
+    outer.attr_u64("n", 3);
+    { Span inner("test.rt_inner", "test"); }
+  }
+  ForensicEvent event;
+  event.kind = "unit_kind";
+  event.residual_history = {2.0, 1.0};
+  {
+    Span s("test.rt_fail", "test");
+    record_forensic(std::move(event));
+  }
+#endif
+  set_enabled(false);
+  const TraceData data = collect();
+  const std::string text = to_chrome_json(data, "run-123");
+
+  const json::Value doc = json::Value::parse(text);
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::size_t complete = 0;
+  std::size_t instants = 0;
+  for (const json::Value& e : events.as_array()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.at("name").is_string());
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+      EXPECT_TRUE(e.at("args").is_object());
+      EXPECT_NE(e.at("args").find("depth"), nullptr);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.at("s").as_string(), "t");
+    } else {
+      EXPECT_EQ(ph, "M");
+    }
+  }
+  EXPECT_EQ(doc.at("metadata").at("run_id").as_string(), "run-123");
+#if ISSA_TRACE_ENABLED
+  EXPECT_EQ(complete, 3u);
+  EXPECT_EQ(instants, 1u);
+  // The instant event names the forensic kind and carries the span path.
+  bool found = false;
+  for (const json::Value& e : events.as_array()) {
+    if (e.at("name").as_string() == "forensic.unit_kind") {
+      found = true;
+      EXPECT_EQ(e.at("args").at("span_path").as_string(), "test.rt_fail");
+      EXPECT_EQ(e.at("args").at("iterations").as_number(), 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
+#else
+  EXPECT_EQ(complete, 0u);
+  EXPECT_EQ(instants, 0u);
+#endif
+}
+
+TEST_F(TraceTest, JsonlEmitsOneParseableObjectPerLine) {
+#if ISSA_TRACE_ENABLED
+  { Span span("test.jsonl", "test"); }
+#endif
+  set_enabled(false);
+  const std::string text = to_jsonl(collect());
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const json::Value v = json::Value::parse(text.substr(pos, eol - pos));
+    EXPECT_TRUE(v.is_object());
+    EXPECT_EQ(v.string_or("type", ""), "span");
+    ++lines;
+    pos = eol + 1;
+  }
+#if ISSA_TRACE_ENABLED
+  EXPECT_EQ(lines, 1u);
+#else
+  EXPECT_EQ(lines, 0u);
+#endif
+}
+
+TEST_F(TraceTest, ForensicsJsonParsesWithFullHistories) {
+#if ISSA_TRACE_ENABLED
+  ForensicEvent event;
+  event.kind = "transient_step_collapse";
+  event.residual_history = {4.0, 2.0, 1.0};
+  event.alpha_history = {1.0, 0.5};
+  event.node_voltages = {0.0, 1.0, 0.5};
+  record_forensic(std::move(event));
+#endif
+  set_enabled(false);
+  const std::string text = forensics_to_json(collect(), "run-xyz");
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("run_id").as_string(), "run-xyz");
+  ASSERT_TRUE(doc.at("events").is_array());
+#if ISSA_TRACE_ENABLED
+  ASSERT_EQ(doc.at("events").as_array().size(), 1u);
+  const json::Value& f = doc.at("events").as_array()[0];
+  EXPECT_EQ(f.at("kind").as_string(), "transient_step_collapse");
+  EXPECT_EQ(f.at("residual_history").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(f.at("alpha_history").as_array()[1].as_number(), 0.5);
+  EXPECT_EQ(f.at("node_voltages").as_array().size(), 3u);
+#else
+  EXPECT_TRUE(doc.at("events").as_array().empty());
+#endif
+}
+
+TEST_F(TraceTest, WriteToUnopenablePathThrows) {
+  set_enabled(false);
+  EXPECT_THROW(write_chrome_json("/nonexistent-dir/x/y.json", TraceData{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace issa::util::trace
