@@ -34,8 +34,9 @@ double now_seconds() {
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ablation_methods");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_ablation_methods", metrics.run_id());
-  const analysis::McConfig mc = bench::mc_from_options(options);
+  const analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
   const std::size_t n = std::min<std::size_t>(mc.iterations, 100);
 
   // --- 1. offset search method ------------------------------------------------

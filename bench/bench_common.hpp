@@ -141,10 +141,17 @@ struct PaperRow {
   double mu, sigma, spec, delay;
 };
 
-inline analysis::McConfig mc_from_options(const util::Options& options) {
+/// Builds the bench's McConfig from its options.  Pass the MetricsSession's
+/// run_id so quarantine records join the run's sidecars; --quarantine-max
+/// overrides the failure-fraction threshold for fault-injection experiments.
+inline analysis::McConfig mc_from_options(const util::Options& options,
+                                          std::string run_id = {}) {
   analysis::McConfig mc;
   mc.iterations = util::bench_mc_iterations(options);
   mc.seed = static_cast<std::uint64_t>(options.get_long_or("seed", 42));
+  mc.max_quarantine_fraction =
+      options.get_double_or("quarantine-max", mc.max_quarantine_fraction);
+  mc.run_id = std::move(run_id);
   return mc;
 }
 
@@ -186,6 +193,19 @@ inline void print_rows_with_reference(const std::string& title,
     table.add_row(std::move(cells));
   }
   std::cout << table << "\n";
+
+  // A degraded table must never look like a clean reproduction: flag it
+  // right under the data it degrades.
+  std::size_t quarantined = 0;
+  std::size_t recovered = 0;
+  for (const auto& r : rows) {
+    quarantined += r.quarantined;
+    recovered += r.recovered;
+  }
+  if (quarantined > 0 || recovered > 0) {
+    std::cout << "!!! DEGRADED RUN: " << quarantined << " quarantined sample(s), " << recovered
+              << " recovered by retry; statistics cover valid samples only\n\n";
+  }
 }
 
 }  // namespace issa::bench

@@ -18,8 +18,9 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ext_double_tail");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_ext_double_tail", metrics.run_id());
-  const analysis::McConfig mc = bench::mc_from_options(options);
+  const analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
 
   std::cout << "Extension: input switching on the double-tail SA (paper ref. [23]), MC = "
             << mc.iterations << "\n\n";

@@ -16,8 +16,9 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_fig7_delay_vs_aging");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_fig7_delay_vs_aging", metrics.run_id());
-  core::ExperimentRunner runner(bench::mc_from_options(options));
+  core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 
   std::cout << "Reproducing Fig. 7 (delay vs aging at 125 C), MC = " << runner.mc().iterations
             << " iterations\n\n";

@@ -14,6 +14,7 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_overheads");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_overheads", metrics.run_id());
 
   std::cout << "Reproducing Sec. IV-C overhead discussion\n\n";

@@ -12,8 +12,9 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table2_workload");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_table2_workload", metrics.run_id());
-  core::ExperimentRunner runner(bench::mc_from_options(options));
+  core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 
   std::cout << "Reproducing Table II / Fig. 4 (workload impact), MC = "
             << runner.mc().iterations << " iterations\n\n";

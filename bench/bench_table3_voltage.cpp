@@ -13,8 +13,9 @@ using namespace issa;
 int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table3_voltage");
+  util::apply_fault_options(options);
   bench::TraceSession trace(options, "bench_table3_voltage", metrics.run_id());
-  core::ExperimentRunner runner(bench::mc_from_options(options));
+  core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 
   std::cout << "Reproducing Table III / Fig. 5 (supply-voltage impact), MC = "
             << runner.mc().iterations << " iterations\n\n";

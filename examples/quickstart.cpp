@@ -1,7 +1,7 @@
 // Quickstart: build a sense amplifier, give it process variation, and
 // measure its two figures of merit — offset voltage and sensing delay.
 //
-//   $ ./quickstart [--metrics[=stem]] [--trace[=stem]]
+//   $ ./quickstart [--metrics[=stem]] [--trace[=stem]] [--faults=spec]
 #include <cstdio>
 
 #include "issa/sa/builder.hpp"
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   if (util::metrics_requested(options)) util::metrics::set_enabled(true);
   if (util::trace_requested(options)) util::trace::set_enabled(true);
+  util::apply_fault_options(options);  // e.g. --faults='lu.singular_pivot=n1'
   const std::string run_id = util::generate_run_id();
 
   // 1. A testbench for the standard latch-type SA of the paper's Fig. 1,

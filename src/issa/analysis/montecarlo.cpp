@@ -1,10 +1,14 @@
 #include "issa/analysis/montecarlo.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <limits>
 #include <optional>
+#include <sstream>
 
 #include "issa/aging/bti_model.hpp"
 #include "issa/sa/double_tail.hpp"
+#include "issa/util/faultpoint.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/thread_pool.hpp"
 #include "issa/util/trace.hpp"
@@ -29,6 +33,21 @@ util::metrics::Timer& m_sample_time() {
   static util::metrics::Timer& t =
       util::metrics::Registry::instance().timer(mnames::kMcSampleTime);
   return t;
+}
+util::metrics::Counter& m_sample_failures() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kMcSampleFailures);
+  return c;
+}
+util::metrics::Counter& m_sample_retries() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kMcSampleRetries);
+  return c;
+}
+util::metrics::Counter& m_quarantined() {
+  static util::metrics::Counter& c =
+      util::metrics::Registry::instance().counter(mnames::kMcQuarantinedSamples);
+  return c;
 }
 
 std::atomic<std::uint64_t> g_stress_map_builds{0};
@@ -56,7 +75,8 @@ aging::DeviceStressMap condition_stress_map(const Condition& condition) {
     case sa::SenseAmpKind::kDoubleTailSwitching:
       return sa::double_tail_switching_stress_map(condition.workload, vdd);
   }
-  throw std::logic_error("condition_stress_map: unknown kind");
+  throw std::logic_error("condition_stress_map: unknown kind " +
+                         std::to_string(static_cast<int>(condition.kind)));
 }
 
 sa::SenseAmpCircuit build_sample(const Condition& condition, const McConfig& mc,
@@ -97,14 +117,28 @@ const char* kind_name(sa::SenseAmpKind kind) {
   return "?";
 }
 
-// Runs `body(i)` over the sample indices, in parallel when requested, with
-// per-sample work accounting.  Each sample gets a trace span carrying its
-// index and seed, plus a forensic context scope naming the operating
-// condition — a solver failure deep inside a transient can then be pinned to
-// the exact (condition, seed, sample) that produced it.
+// Per-sample outcome slots.  Index-addressed (one slot per sample, no locks)
+// so recording an outcome is scheduling-free: the quarantine list assembled
+// from the slots afterwards is bit-identical for every thread count.
+enum : unsigned char { kSampleOk = 0, kSampleRecovered = 1, kSampleQuarantined = 2 };
+
+// Runs `body(i, attempt)` over the sample indices, in parallel when
+// requested, with per-sample work accounting and fault tolerance.  Each
+// sample gets a trace span carrying its index and seed, plus a forensic
+// context scope naming the operating condition — a solver failure deep
+// inside a transient can then be pinned to the exact (condition, seed,
+// sample) that produced it.
+//
+// A body that throws std::runtime_error (solver failures: ConvergenceError,
+// singular LU, unresolvable delay, injected faults) is retried once with
+// attempt = 1 — the body selects a perturbed/robust strategy — and
+// quarantined if the retry also fails.  logic_error and friends still
+// propagate: those are bugs, not sample pathologies.  Throws
+// McDegradationError after the full sweep when the quarantined fraction
+// exceeds mc.max_quarantine_fraction.
 template <typename Body>
-void for_samples(const Condition& condition, const McConfig& mc, const char* phase_name,
-                 Body&& body) {
+McDegradation for_samples(const Condition& condition, const McConfig& mc,
+                          const char* phase_name, Body&& body) {
   util::trace::Span phase(phase_name, "mc");
   if (phase.active()) {
     phase.attr_u64("iterations", mc.iterations);
@@ -114,7 +148,11 @@ void for_samples(const Condition& condition, const McConfig& mc, const char* pha
     phase.attr_f64("temperature_c", condition.config.temperature_c);
     phase.attr_f64("stress_time_s", condition.stress_time_s);
   }
-  auto counted = [&body, &condition, &mc](std::size_t i) {
+
+  std::vector<unsigned char> status(mc.iterations, kSampleOk);
+  std::vector<std::string> errors(mc.iterations);
+
+  auto counted = [&](std::size_t i) {
     const util::metrics::Timer::Scope timing(m_sample_time());
     util::trace::Span span(util::trace::spans::kMcSample, "mc");
     std::vector<util::trace::Attr> context;
@@ -129,7 +167,44 @@ void for_samples(const Condition& condition, const McConfig& mc, const char* pha
                  util::trace::Attr::f64("stress_time_s", condition.stress_time_s)};
     }
     util::trace::ContextScope ctx(std::move(context));
-    body(i);
+    // Scope the deterministic fault-trigger key to this sample: an armed
+    // key/probability trigger decides by sample index, never by schedule.
+    util::faultpoint::SampleScope fault_key(i);
+    try {
+      body(i, 0);
+    } catch (const std::runtime_error& first) {
+      m_sample_failures().add();
+      if (mc.retry_failed_samples) {
+        m_sample_retries().add();
+        try {
+          // The retry draws its own injected-fault decisions (attempt = 1)
+          // and the body switches to its robust profile — together the
+          // deterministic analog of "retry from a perturbed initial guess".
+          util::faultpoint::RetryScope retry;
+          body(i, 1);
+          status[i] = kSampleRecovered;
+        } catch (const std::runtime_error& second) {
+          status[i] = kSampleQuarantined;
+          errors[i] = second.what();
+        }
+      } else {
+        status[i] = kSampleQuarantined;
+        errors[i] = first.what();
+      }
+      if (status[i] == kSampleQuarantined) {
+        m_quarantined().add();
+        if (util::trace::forensics_enabled()) {
+          util::trace::ForensicEvent event;
+          event.kind = "mc_sample_quarantined";
+          event.attrs.push_back(util::trace::Attr::u64("sample", i));
+          event.attrs.push_back(util::trace::Attr::u64("seed", mc.seed));
+          event.attrs.push_back(util::trace::Attr::str("condition", condition_label(condition)));
+          event.attrs.push_back(util::trace::Attr::str("run_id", mc.run_id));
+          event.attrs.push_back(util::trace::Attr::str("error", errors[i]));
+          util::trace::record_forensic(std::move(event));
+        }
+      }
+    }
     m_samples().add();
   };
   if (mc.parallel) {
@@ -138,44 +213,126 @@ void for_samples(const Condition& condition, const McConfig& mc, const char* pha
   } else {
     for (std::size_t i = 0; i < mc.iterations; ++i) counted(i);
   }
+
+  McDegradation deg;
+  for (std::size_t i = 0; i < mc.iterations; ++i) {
+    if (status[i] == kSampleRecovered) {
+      ++deg.recovered;
+    } else if (status[i] == kSampleQuarantined) {
+      deg.quarantined.push_back(QuarantinedSample{i, mc.seed, condition_label(condition),
+                                                  mc.run_id, std::move(errors[i])});
+    }
+  }
+
+  if (deg.degraded()) {
+    // Loud by design: a degraded distribution must never pass silently.
+    std::fprintf(stderr,
+                 "[issa] DEGRADED MC RUN %s: %zu/%zu sample(s) quarantined, %zu recovered "
+                 "by retry [%s seed=%llu]\n",
+                 phase_name, deg.quarantined.size(), mc.iterations, deg.recovered,
+                 condition_label(condition).c_str(),
+                 static_cast<unsigned long long>(mc.seed));
+  }
+
+  const double fraction =
+      mc.iterations == 0 ? 0.0
+                         : static_cast<double>(deg.quarantined.size()) /
+                               static_cast<double>(mc.iterations);
+  if (fraction > mc.max_quarantine_fraction) {
+    std::ostringstream os;
+    os << phase_name << ": " << deg.quarantined.size() << "/" << mc.iterations
+       << " samples quarantined (" << fraction * 100.0 << "% > max "
+       << mc.max_quarantine_fraction * 100.0 << "%) [" << condition_label(condition)
+       << " seed=" << mc.seed << "]";
+    constexpr std::size_t kListed = 8;
+    os << "; quarantined:";
+    for (std::size_t q = 0; q < deg.quarantined.size() && q < kListed; ++q) {
+      const QuarantinedSample& s = deg.quarantined[q];
+      os << " #" << s.sample << " (" << s.error << ")";
+    }
+    if (deg.quarantined.size() > kListed) {
+      os << " ... +" << deg.quarantined.size() - kListed << " more";
+    }
+    throw McDegradationError(os.str(), std::move(deg));
+  }
+  return deg;
+}
+
+// Drops the quarantined slots (ascending-sorted in `quarantined`) so the
+// summary statistics see only valid samples.
+std::vector<double> valid_samples(const std::vector<double>& values,
+                                  const std::vector<QuarantinedSample>& quarantined) {
+  std::vector<double> out;
+  out.reserve(values.size() - quarantined.size());
+  std::size_t qi = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (qi < quarantined.size() && quarantined[qi].sample == i) {
+      ++qi;
+      continue;
+    }
+    out.push_back(values[i]);
+  }
+  return out;
 }
 
 }  // namespace
 
+std::string condition_label(const Condition& condition) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s vdd=%.2fV T=%.1fC stress=%gs", kind_name(condition.kind),
+                condition.config.vdd, condition.config.temperature_c, condition.stress_time_s);
+  return buf;
+}
+
 OffsetDistribution measure_offset_distribution(const Condition& condition, const McConfig& mc) {
   OffsetDistribution dist;
-  dist.offsets.resize(mc.iterations);
+  dist.offsets.assign(mc.iterations, std::numeric_limits<double>::quiet_NaN());
   std::vector<char> saturated(mc.iterations, 0);
 
   // Aged stress maps are identical across samples: compute once, share
   // read-only across the pool.
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
-  for_samples(condition, mc, util::trace::spans::kMcOffsetDistribution, [&](std::size_t i) {
-    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
-    const sa::OffsetResult r = sa::measure_offset(circuit);
-    dist.offsets[i] = r.offset;
-    saturated[i] = r.saturated ? 1 : 0;
-  });
+  dist.degradation = for_samples(
+      condition, mc, util::trace::spans::kMcOffsetDistribution, [&](std::size_t i, int attempt) {
+        sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
+        sa::OffsetSearchOptions search;
+        if (attempt > 0) {
+          // Robust retry profile: every fast-path knob off.  A fresh
+          // simulator with cold bracketing approaches the flip from
+          // different operating points — the "perturbed initial guess".
+          search.warm_start = false;
+          search.split_secant = false;
+          search.early_exit = false;
+          search.reuse_simulator = false;
+        }
+        const sa::OffsetResult r = sa::measure_offset(circuit, search);
+        dist.offsets[i] = r.offset;
+        saturated[i] = r.saturated ? 1 : 0;
+      });
 
   for (const char s : saturated) dist.saturated_count += s;
   m_saturated().add(dist.saturated_count);
-  dist.summary = util::summarize(dist.offsets);
+  dist.summary = util::summarize(valid_samples(dist.offsets, dist.degradation.quarantined));
   return dist;
 }
 
 DelayDistribution measure_delay_distribution(const Condition& condition, const McConfig& mc) {
   DelayDistribution dist;
-  dist.delays.resize(mc.iterations);
+  dist.delays.assign(mc.iterations, std::numeric_limits<double>::quiet_NaN());
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
-  for_samples(condition, mc, util::trace::spans::kMcDelayDistribution, [&](std::size_t i) {
-    sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
-    const sa::DelayPair pair = sa::measure_delay(circuit);
-    dist.delays[i] =
-        mc.delay_metric == DelayMetric::kWorstDirection ? pair.worst() : pair.mean();
-  });
-  dist.summary = util::summarize(dist.delays);
+  dist.degradation = for_samples(
+      condition, mc, util::trace::spans::kMcDelayDistribution, [&](std::size_t i, int) {
+        // The delay measurement has no tunable search profile; the retry
+        // still re-runs from a fresh build and draws fresh injected-fault
+        // decisions (attempt = 1).
+        sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
+        const sa::DelayPair pair = sa::measure_delay(circuit);
+        dist.delays[i] =
+            mc.delay_metric == DelayMetric::kWorstDirection ? pair.worst() : pair.mean();
+      });
+  dist.summary = util::summarize(valid_samples(dist.delays, dist.degradation.quarantined));
   return dist;
 }
 

@@ -6,9 +6,22 @@
 // the offset voltage and/or sensing delay by transient simulation.  Samples
 // are independent, so they run on the global thread pool; results are
 // deterministic in (condition, mc config) regardless of thread count.
+//
+// Fault tolerance: a per-sample solver failure (ConvergenceError, singular
+// LU, unresolvable delay, injected fault) no longer destroys the whole
+// distribution.  The failed sample is retried once from a perturbed
+// (cold-start, robust-profile) initial guess; if that also fails the sample
+// is QUARANTINED — recorded with its index/seed/condition/run id, its slot
+// holding NaN — and the summary is computed over the valid samples.  The run
+// itself only fails (McDegradationError) when the quarantined fraction
+// exceeds McConfig::max_quarantine_fraction.  The quarantine decision is a
+// pure function of (condition, mc config, fault spec), never of scheduling,
+// so the quarantine list is bit-identical across thread counts.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "issa/aging/bti_model.hpp"
@@ -36,6 +49,42 @@ struct Condition {
   bool aged() const noexcept { return stress_time_s > 0.0; }
 };
 
+/// Human-readable cell label used in quarantine records and error messages:
+/// "NSSA vdd=1.00V T=25.0C stress=1e+08s".
+std::string condition_label(const Condition& condition);
+
+/// One sample excluded from a distribution: its solver failed on the first
+/// attempt and again on the retry (or retries were disabled).
+struct QuarantinedSample {
+  std::size_t sample = 0;  ///< Monte-Carlo sample index
+  std::uint64_t seed = 0;  ///< the run's McConfig::seed
+  std::string condition;   ///< condition_label() of the run
+  std::string run_id;      ///< forensic run id (McConfig::run_id; may be empty)
+  std::string error;       ///< what() of the final failure
+};
+
+/// Degradation record of one distribution run.
+struct McDegradation {
+  std::vector<QuarantinedSample> quarantined;  ///< ascending sample index
+  std::size_t recovered = 0;  ///< samples that failed once but retried clean
+
+  bool degraded() const noexcept { return !quarantined.empty() || recovered > 0; }
+};
+
+/// Thrown when quarantined samples exceed McConfig::max_quarantine_fraction.
+/// what() carries the per-sample quarantine summary; degradation() the
+/// structured record.
+class McDegradationError : public std::runtime_error {
+ public:
+  McDegradationError(const std::string& message, McDegradation degradation)
+      : std::runtime_error(message), degradation_(std::move(degradation)) {}
+
+  const McDegradation& degradation() const noexcept { return degradation_; }
+
+ private:
+  McDegradation degradation_;
+};
+
 /// Which per-sample sensing delay enters the distribution.  A memory's
 /// timing is set by its slowest read, so the paper-facing experiments use
 /// the worst direction; the mean is available for symmetric analyses.
@@ -51,13 +100,30 @@ struct McConfig {
   DelayMetric delay_metric = DelayMetric::kWorstDirection;
   variation::MismatchParams mismatch = variation::default_mismatch();
   aging::BtiParams bti = aging::default_bti();
+
+  /// Retry a failed sample once (robust cold-start measurement profile =
+  /// perturbed Newton trajectory) before quarantining it.
+  bool retry_failed_samples = true;
+  /// The run throws McDegradationError when strictly more than this fraction
+  /// of iterations ends up quarantined (1% of samples exactly still passes).
+  double max_quarantine_fraction = 0.01;
+  /// Forensic run id stamped into quarantine records (empty = unstamped).
+  /// Benches pass their session run id so a quarantined sample joins the
+  /// .metrics/.trace/.forensics sidecars of the same invocation.
+  std::string run_id;
 };
 
 /// Offset-distribution result of one condition.
 struct OffsetDistribution {
-  std::vector<double> offsets;  ///< per-sample offset voltages [V]
-  util::DistributionSummary summary;
+  /// Per-sample offset voltages [V]; quarantined slots hold NaN.
+  std::vector<double> offsets;
+  util::DistributionSummary summary;  ///< over valid (non-quarantined) samples
   std::size_t saturated_count = 0;  ///< samples whose flip left the window
+  McDegradation degradation;
+
+  std::size_t valid_count() const noexcept {
+    return offsets.size() - degradation.quarantined.size();
+  }
 
   /// Offset-voltage specification per Eq. 3 at the given failure rate.
   double spec(double failure_rate = kPaperFailureRate) const;
@@ -65,8 +131,14 @@ struct OffsetDistribution {
 
 /// Delay-distribution result of one condition.
 struct DelayDistribution {
-  std::vector<double> delays;  ///< per-sample mean sensing delay [s]
-  util::DistributionSummary summary;
+  /// Per-sample sensing delays [s]; quarantined slots hold NaN.
+  std::vector<double> delays;
+  util::DistributionSummary summary;  ///< over valid (non-quarantined) samples
+  McDegradation degradation;
+
+  std::size_t valid_count() const noexcept {
+    return delays.size() - degradation.quarantined.size();
+  }
 };
 
 /// Builds one sample's testbench: fresh circuit + mismatch (+ BTI when the

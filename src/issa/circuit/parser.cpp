@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace issa::circuit {
@@ -36,20 +38,34 @@ double parse_spice_number(std::string_view token) {
   try {
     value = std::stod(lower, &consumed);
   } catch (const std::exception&) {
+    // Includes out_of_range: a huge exponent ("1e999") is a malformed value,
+    // not a crash or a silent infinity.
     throw std::invalid_argument("bad number '" + std::string(token) + "'");
   }
-  const std::string suffix = lower.substr(consumed);
-  if (suffix.empty()) return value;
-  static const std::unordered_map<std::string, double> kSuffixes = {
-      {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},  {"m", 1e-3},
-      {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12},
-  };
-  const auto it = kSuffixes.find(suffix);
-  if (it == kSuffixes.end()) {
-    throw std::invalid_argument("bad numeric suffix '" + suffix + "' in '" + std::string(token) +
-                                "'");
+  // stod happily parses "nan" and "inf"; no circuit value is non-finite.
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("non-finite number '" + std::string(token) + "'");
   }
-  return value * it->second;
+  const std::string suffix = lower.substr(consumed);
+  double scaled = value;
+  if (!suffix.empty()) {
+    static const std::unordered_map<std::string, double> kSuffixes = {
+        {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},  {"m", 1e-3},
+        {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12},
+    };
+    const auto it = kSuffixes.find(suffix);
+    if (it == kSuffixes.end()) {
+      throw std::invalid_argument("bad numeric suffix '" + suffix + "' in '" + std::string(token) +
+                                  "'");
+    }
+    scaled = value * it->second;
+  }
+  // The suffix multiply can overflow even when the mantissa was finite
+  // ("1e308k"): same rule, finite or rejected.
+  if (!std::isfinite(scaled)) {
+    throw std::invalid_argument("number overflows to non-finite: '" + std::string(token) + "'");
+  }
+  return scaled;
 }
 
 namespace {
@@ -58,7 +74,24 @@ struct ParserState {
   Netlist netlist;
   std::unordered_map<std::string, device::MosParams> models;
   std::unordered_map<std::string, device::MosType> model_types;
+  std::unordered_set<std::string> device_names;  // lowercased, for dedup
 };
+
+// Every device card registers its name here first: a duplicate silently
+// shadowing an earlier element is one of the classic netlist corruptions.
+void register_device(ParserState& state, const std::string& name, std::size_t line) {
+  if (!state.device_names.insert(to_lower(name)).second) {
+    throw ParseError(line, "duplicate device name '" + name + "'");
+  }
+}
+
+// Two-terminal elements with both terminals on one node are degenerate: a
+// self-loop voltage source even makes the MNA matrix structurally singular.
+void reject_self_loop(NodeId a, NodeId b, const std::string& name, std::size_t line) {
+  if (a == b) {
+    throw ParseError(line, "device '" + name + "' connects both terminals to the same node");
+  }
+}
 
 SourceWave parse_source_wave(const std::vector<std::string>& tokens, std::size_t first,
                              std::size_t line) {
@@ -93,6 +126,7 @@ SourceWave parse_source_wave(const std::vector<std::string>& tokens, std::size_t
 void parse_mosfet(ParserState& state, const std::vector<std::string>& tokens, std::size_t line) {
   // M<name> d g s b <model> W/L=<ratio> [DVTH=<v>]
   if (tokens.size() < 7) throw ParseError(line, "MOSFET needs d g s b model W/L=...");
+  register_device(state, tokens[0], line);
   const NodeId d = state.netlist.node(tokens[1]);
   const NodeId g = state.netlist.node(tokens[2]);
   const NodeId s = state.netlist.node(tokens[3]);
@@ -154,30 +188,42 @@ void parse_line(ParserState& state, const std::string& raw, std::size_t line) {
       return;
     }
     switch (first[0]) {
-      case 'r':
+      case 'r': {
         if (tokens.size() != 4) throw ParseError(line, "resistor needs n+ n- value");
-        state.netlist.add_resistor(tokens[0], state.netlist.node(tokens[1]),
-                                   state.netlist.node(tokens[2]),
-                                   parse_spice_number(tokens[3]));
+        register_device(state, tokens[0], line);
+        const NodeId np = state.netlist.node(tokens[1]);
+        const NodeId nm = state.netlist.node(tokens[2]);
+        reject_self_loop(np, nm, tokens[0], line);
+        state.netlist.add_resistor(tokens[0], np, nm, parse_spice_number(tokens[3]));
         return;
-      case 'c':
+      }
+      case 'c': {
         if (tokens.size() != 4) throw ParseError(line, "capacitor needs n+ n- value");
-        state.netlist.add_capacitor(tokens[0], state.netlist.node(tokens[1]),
-                                    state.netlist.node(tokens[2]),
-                                    parse_spice_number(tokens[3]));
+        register_device(state, tokens[0], line);
+        const NodeId np = state.netlist.node(tokens[1]);
+        const NodeId nm = state.netlist.node(tokens[2]);
+        reject_self_loop(np, nm, tokens[0], line);
+        state.netlist.add_capacitor(tokens[0], np, nm, parse_spice_number(tokens[3]));
         return;
-      case 'v':
+      }
+      case 'v': {
         if (tokens.size() < 4) throw ParseError(line, "source needs n+ n- spec");
-        state.netlist.add_vsource(tokens[0], state.netlist.node(tokens[1]),
-                                  state.netlist.node(tokens[2]),
-                                  parse_source_wave(tokens, 3, line));
+        register_device(state, tokens[0], line);
+        const NodeId np = state.netlist.node(tokens[1]);
+        const NodeId nm = state.netlist.node(tokens[2]);
+        reject_self_loop(np, nm, tokens[0], line);
+        state.netlist.add_vsource(tokens[0], np, nm, parse_source_wave(tokens, 3, line));
         return;
-      case 'i':
+      }
+      case 'i': {
         if (tokens.size() < 4) throw ParseError(line, "source needs n+ n- spec");
-        state.netlist.add_isource(tokens[0], state.netlist.node(tokens[1]),
-                                  state.netlist.node(tokens[2]),
-                                  parse_source_wave(tokens, 3, line));
+        register_device(state, tokens[0], line);
+        const NodeId np = state.netlist.node(tokens[1]);
+        const NodeId nm = state.netlist.node(tokens[2]);
+        reject_self_loop(np, nm, tokens[0], line);
+        state.netlist.add_isource(tokens[0], np, nm, parse_source_wave(tokens, 3, line));
         return;
+      }
       case 'm':
         parse_mosfet(state, tokens, line);
         return;

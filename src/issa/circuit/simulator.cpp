@@ -7,6 +7,7 @@
 
 #include "issa/device/mosfet.hpp"
 #include "issa/linalg/lu.hpp"
+#include "issa/util/faultpoint.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/trace.hpp"
 
@@ -332,6 +333,15 @@ bool Simulator::newton_solve(std::vector<double>& x, double t, bool transient, d
     return converged;
   };
 
+  // Injected non-convergence reports failure through the normal verdict path,
+  // so callers exercise their real fallbacks (homotopy, source stepping,
+  // step halving) exactly as they would for a natural failure.
+  if (util::faultpoint::should_fire(util::faultpoint::sites::kNewtonNonconvergence)) {
+    ++stats_.newton_failures;
+    ++telemetry.failures;
+    return finish(false, 0, "fault_injected");
+  }
+
   // Newton cannot land exactly on the root of a stiff exponential; the
   // attainable residual floor on nodes held only by gmin scales with the
   // gmin current itself, so the acceptance floor must track it.
@@ -439,7 +449,8 @@ std::vector<double> Simulator::solve_dc(const DcOptions& options) {
     bool ok = true;
     double gmin = 1e-2;
     while (true) {
-      if (!newton_solve(x, 0.0, false, gmin, 1.0, options.newton)) {
+      if (util::faultpoint::should_fire(util::faultpoint::sites::kGminStageFail) ||
+          !newton_solve(x, 0.0, false, gmin, 1.0, options.newton)) {
         ok = false;
         break;
       }
@@ -563,6 +574,14 @@ TransientResult Simulator::run_transient(const TransientOptions& options) {
     }
     int halvings = 0;
     for (;;) {
+      // Injected step collapse takes the same terminal path as exhausting
+      // max_step_halvings below: forensic event, then ConvergenceError.
+      if (util::faultpoint::should_fire(util::faultpoint::sites::kTransientStepCollapse)) {
+        if (util::trace::forensics_enabled()) {
+          record_solver_forensic("transient_step_collapse", "fault_injected", x, t, h);
+        }
+        throw ConvergenceError("run_transient: Newton failed at t = " + std::to_string(t));
+      }
       prepare_companions(h, options.method);
       x_try.assign(x.begin(), x.end());
       if (newton_solve(x_try, t + h, /*transient=*/true, options.newton.gmin, 1.0,

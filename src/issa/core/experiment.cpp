@@ -31,6 +31,26 @@ void write_run_report_json(const std::string& path, std::string_view title,
     os << "  \"wall_clock_s\": " << run.wall_clock_s << ",\n";
     os << "  \"rss_peak_kb\": " << run.rss_peak_kb << ",\n";
   }
+  // Degradation summary first, so a degraded run is visible at the top of
+  // the report without digging through per-condition metrics.
+  std::size_t total_quarantined = 0;
+  std::size_t total_recovered = 0;
+  for (const auto& row : rows) {
+    total_quarantined += row.quarantined;
+    total_recovered += row.recovered;
+  }
+  os << "  \"quarantined_samples\": " << total_quarantined << ",\n";
+  os << "  \"recovered_samples\": " << total_recovered << ",\n";
+  os << "  \"degraded_conditions\": [";
+  bool first_deg = true;
+  for (const auto& row : rows) {
+    if (!row.degraded() && row.recovered == 0) continue;
+    os << (first_deg ? "\n" : ",\n");
+    first_deg = false;
+    os << "    {\"condition\": \"" << row.condition_label() << "\", \"quarantined\": "
+       << row.quarantined << ", \"recovered\": " << row.recovered << "}";
+  }
+  os << (first_deg ? "],\n" : "\n  ],\n");
   os << "  \"conditions\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
@@ -69,6 +89,14 @@ void write_run_report_csv(const std::string& path, const std::vector<ExperimentR
   }
   for (const auto& row : rows) {
     const std::string label = row.condition_label();
+    // Degradation rows are written even when metrics are compiled out: a
+    // degraded run must be visible in every report format.
+    if (row.quarantined > 0 || row.recovered > 0) {
+      csv.add_row(std::vector<std::string>{run.run_id, label, "mc.quarantined", "degradation",
+                                           std::to_string(row.quarantined), "0", "0"});
+      csv.add_row(std::vector<std::string>{run.run_id, label, "mc.recovered", "degradation",
+                                           std::to_string(row.recovered), "0", "0"});
+    }
     for (const auto& e : row.metrics.entries) {
       const char* kind = e.kind == util::metrics::Kind::kCounter   ? "counter"
                          : e.kind == util::metrics::Kind::kTimer   ? "timer"
@@ -149,6 +177,9 @@ ExperimentRow ExperimentRunner::run_cell(sa::SenseAmpKind kind,
   row.spec_mv = util::to_mV(offsets.spec());
   row.delay_ps = util::to_ps(delays.summary.mean);
   row.mc_iterations = mc_.iterations;
+  row.quarantined =
+      offsets.degradation.quarantined.size() + delays.degradation.quarantined.size();
+  row.recovered = offsets.degradation.recovered + delays.degradation.recovered;
   return row;
 }
 

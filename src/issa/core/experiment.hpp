@@ -31,8 +31,16 @@ struct ExperimentRow {
   double spec_mv = 0.0;        ///< offset-voltage spec at fr = 1e-9 [mV]
   double delay_ps = 0.0;       ///< mean sensing delay [ps]
   std::size_t mc_iterations = 0;
+  /// Samples quarantined across the cell's offset + delay sweeps.  Nonzero
+  /// means the cell's statistics come from fewer than mc_iterations samples
+  /// — degraded, and flagged as such in every report.
+  std::size_t quarantined = 0;
+  /// Samples that failed once but were recovered by the retry.
+  std::size_t recovered = 0;
   /// Solver/pool work spent on this cell (empty unless metrics are enabled).
   util::metrics::Snapshot metrics;
+
+  bool degraded() const noexcept { return quarantined > 0; }
 
   /// Condition label for reports: "NSSA/80r0@1e8s vdd=1.00 T=25".
   std::string condition_label() const;

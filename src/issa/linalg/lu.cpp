@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "issa/util/faultpoint.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/trace.hpp"
 
@@ -49,6 +50,9 @@ void LuFactorization::factorize(Matrix& a, double min_pivot) {
   const std::uint64_t t0 = monitored ? util::metrics::monotonic_ns() : 0;
   if (monitored) m_factorizations().add();
   if (a.rows() != a.cols()) throw std::invalid_argument("LuFactorization: matrix not square");
+  // Injected stand-in for the singular-pivot throw below: same type, same
+  // catch paths, but on demand (see util/faultpoint.hpp).
+  util::faultpoint::maybe_fail(util::faultpoint::sites::kLuSingularPivot);
   lu_ = nullptr;  // stays unset until the factorization succeeds
   Matrix& lu = a;
   const std::size_t n = a.rows();

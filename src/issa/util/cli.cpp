@@ -1,7 +1,10 @@
 #include "issa/util/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "issa/util/faultpoint.hpp"
 
 namespace issa::util {
 
@@ -110,6 +113,32 @@ bool trace_requested(const Options& options) {
 std::string trace_report_stem(const Options& options, std::string_view default_stem) {
   if (const auto v = options.get_string("trace"); v && !v->empty()) return *v;
   return std::string(default_stem);
+}
+
+std::string fault_spec(const Options& options) {
+  if (const auto v = options.get_string("faults"); v && !v->empty()) return *v;
+  const char* env = std::getenv("ISSA_FAULTS");
+  return env != nullptr ? env : "";
+}
+
+void apply_fault_options(const Options& options) {
+  const std::string spec = fault_spec(options);
+  if (spec.empty()) return;
+  if constexpr (ISSA_FAULTPOINTS_ENABLED) {
+    try {
+      faultpoint::configure(spec);
+    } catch (const std::invalid_argument& e) {
+      // A malformed spec is an operator error, not a bug: diagnose and exit
+      // instead of letting the exception terminate the process.
+      std::fprintf(stderr, "[issa] bad --faults/ISSA_FAULTS spec: %s\n", e.what());
+      std::exit(2);
+    }
+  } else {
+    // Asking for faults in a build without fault sites is almost certainly a
+    // mistake; say so instead of silently measuring nothing.
+    std::fprintf(stderr,
+                 "[issa] --faults/ISSA_FAULTS ignored: built with -DISSA_FAULTPOINTS=OFF\n");
+  }
 }
 
 }  // namespace issa::util

@@ -56,4 +56,15 @@ bool trace_requested(const Options& options);
 /// the --metrics naming so one stem correlates both report families.
 std::string trace_report_stem(const Options& options, std::string_view default_stem);
 
+/// Fault-injection spec for util::faultpoint: the value of --faults=spec
+/// when given, else the ISSA_FAULTS environment variable, else empty.  See
+/// util/faultpoint.hpp for the grammar.
+std::string fault_spec(const Options& options);
+
+/// Arms util::faultpoint from fault_spec() (no-op when the spec is empty,
+/// including -DISSA_FAULTPOINTS=OFF builds where the spec is ignored with a
+/// stderr warning).  Every bench/example main calls this right after parsing
+/// its options.  Throws std::invalid_argument on a malformed spec.
+void apply_fault_options(const Options& options);
+
 }  // namespace issa::util

@@ -246,6 +246,9 @@ inline constexpr const char* kPoolQueueLatency = "pool.queue_latency";
 inline constexpr const char* kMcSamples = "mc.samples";
 inline constexpr const char* kMcSaturatedSamples = "mc.saturated_samples";
 inline constexpr const char* kMcSampleTime = "mc.sample_time";
+inline constexpr const char* kMcSampleFailures = "mc.sample_failures";
+inline constexpr const char* kMcSampleRetries = "mc.sample_retries";
+inline constexpr const char* kMcQuarantinedSamples = "mc.quarantined_samples";
 }  // namespace names
 
 /// Process-wide metric registry.  Lookup is mutex-protected (call sites cache

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 
+#include "issa/util/faultpoint.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/trace.hpp"
 
@@ -112,29 +114,41 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // The completion state is shared with every chunk task, not stack-local:
+  // the caller may observe remaining == 0 through the atomic and return
+  // while the finishing worker is still inside notify_all, so the cv/mutex
+  // must outlive that call — the last shared_ptr to die keeps them alive.
+  struct Sync {
+    std::atomic<std::size_t> remaining;
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining.store(chunks, std::memory_order_relaxed);
 
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    enqueue([&, lo, hi] {
+    enqueue([sync, &body, lo, hi] {
       try {
-        for (std::size_t i = lo; i < hi && !failed.load(std::memory_order_relaxed); ++i) {
+        // Inside the try so an injected throw exercises the first-error
+        // capture + rethrow-at-join contract below, not worker_loop.
+        faultpoint::maybe_fail(faultpoint::sites::kPoolTaskThrow);
+        for (std::size_t i = lo; i < hi && !sync->failed.load(std::memory_order_relaxed);
+             ++i) {
           body(i);
         }
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        std::lock_guard lock(sync->error_mutex);
+        if (!sync->failed.exchange(true)) sync->first_error = std::current_exception();
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_all();
+      if (sync->remaining.fetch_sub(1) == 1) {
+        std::lock_guard lock(sync->done_mutex);
+        sync->done_cv.notify_all();
       }
     });
   }
@@ -143,12 +157,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // of THIS call is either finished or running on another thread, so blocking
   // on done_cv cannot deadlock: the predicate re-check under done_mutex
   // catches a completion that slipped in between the pop attempt and the wait.
-  while (remaining.load(std::memory_order_acquire) != 0) {
+  while (sync->remaining.load(std::memory_order_acquire) != 0) {
     if (try_run_one()) continue;
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+    std::unique_lock lock(sync->done_mutex);
+    sync->done_cv.wait(
+        lock, [&] { return sync->remaining.load(std::memory_order_acquire) == 0; });
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (sync->first_error) std::rethrow_exception(sync->first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -40,6 +40,10 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Submits fire-and-forget work.  The destructor drains every task still
+  /// queued before joining, so enqueued work is never silently dropped.
+  void enqueue(std::function<void()> fn);
+
   /// Process-wide default pool (lazily constructed, sized to the machine).
   static ThreadPool& global();
 
@@ -50,7 +54,6 @@ class ThreadPool {
   };
 
   void worker_loop();
-  void enqueue(std::function<void()> fn);
   void run_task(Task task);
   /// Pops one queued task if any and runs it; returns false when idle.
   bool try_run_one();

@@ -1,0 +1,2 @@
+* unknown engineering suffix (malformed)
+c1 a 0 3q

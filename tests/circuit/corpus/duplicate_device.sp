@@ -1,0 +1,3 @@
+* two devices with the same name; the second would silently shadow the first
+r1 a 0 1k
+r1 b 0 2k

@@ -1,0 +1,4 @@
+* duplicate device names differing only in case (SPICE names are
+* case-insensitive, so this is still a duplicate)
+c7 a 0 1p
+C7 b 0 2p

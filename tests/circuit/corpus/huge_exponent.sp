@@ -1,0 +1,2 @@
+* exponent beyond double range (malformed: overflow)
+r1 a 0 1e999

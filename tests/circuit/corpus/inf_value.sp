@@ -1,0 +1,2 @@
+* literal infinity as a source level (malformed: non-finite)
+v1 a 0 dc inf

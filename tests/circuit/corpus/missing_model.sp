@@ -1,0 +1,2 @@
+* MOSFET referencing a model that was never declared (malformed)
+m1 d g s b nosuchmodel w/l=4

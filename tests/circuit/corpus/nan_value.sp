@@ -1,0 +1,2 @@
+* literal NaN as a component value (malformed: non-finite)
+c1 a 0 nan

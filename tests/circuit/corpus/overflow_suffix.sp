@@ -1,0 +1,2 @@
+* finite mantissa that overflows after the suffix multiply (malformed)
+r1 a 0 1e308k

@@ -1,0 +1,2 @@
+* resistor shorted onto itself (malformed: degenerate element)
+r1 x x 1k

@@ -1,0 +1,2 @@
+* voltage source with both terminals on one node: structurally singular MNA
+v1 a a dc 1.0

@@ -1,0 +1,3 @@
+* MOSFET card missing its model and W/L (malformed: truncated)
+.model n nmos
+m1 d g s

@@ -1,0 +1,3 @@
+* resistor card cut off mid-line (malformed: missing value)
+.model n nmos
+r1 a b

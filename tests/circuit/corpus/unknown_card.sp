@@ -1,0 +1,3 @@
+* a card type the dialect does not define (malformed)
+r1 a 0 1k
+x1 a b sub

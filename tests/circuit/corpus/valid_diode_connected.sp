@@ -1,0 +1,6 @@
+* VALID: diode-connected MOSFET (gate tied to drain) — shared terminals on a
+* four-terminal device are legal, unlike two-terminal self-loops
+.model n nmos
+v1 d 0 dc 1.0
+m1 d d 0 0 n w/l=4
+.end

@@ -1,0 +1,5 @@
+* VALID: two-resistor divider; must parse silently (dialect sanity anchor)
+v1 in 0 dc 1.0
+r1 in mid 1k
+r2 mid 0 1k
+.end

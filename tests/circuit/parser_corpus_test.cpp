@@ -1,0 +1,158 @@
+// Property tests of the netlist parser against a corpus of malformed inputs
+// (tests/circuit/corpus/*.sp): every malformed file must produce a ParseError
+// that names the offending line — never a crash, never a silent parse, never
+// a bare std::invalid_argument escaping without line context.  The two
+// valid_*.sp files anchor the dialect so the corpus cannot rot into rejecting
+// everything.
+#include "issa/circuit/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef ISSA_TEST_CORPUS_DIR
+#error "build must define ISSA_TEST_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace issa::circuit {
+namespace {
+
+std::string read_corpus_file(const std::string& name) {
+  const std::string path = std::string(ISSA_TEST_CORPUS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) ADD_FAILURE() << "cannot open corpus file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct MalformedCase {
+  const char* file;
+  std::size_t line;          // line the diagnostic must point at (1-based)
+  const char* what_contains; // substring the message must carry
+};
+
+// One row per corpus file: which line is bad and what the diagnostic says.
+const std::vector<MalformedCase>& malformed_corpus() {
+  static const std::vector<MalformedCase> cases = {
+      {"truncated_resistor.sp", 3, "resistor needs"},
+      {"truncated_mosfet.sp", 3, "MOSFET needs"},
+      {"nan_value.sp", 2, "non-finite"},
+      {"inf_value.sp", 2, "non-finite"},
+      {"huge_exponent.sp", 2, "bad number"},
+      {"overflow_suffix.sp", 2, "overflows to non-finite"},
+      {"duplicate_device.sp", 3, "duplicate device name"},
+      {"duplicate_device_case.sp", 4, "duplicate device name"},
+      {"self_loop_vsource.sp", 2, "same node"},
+      {"self_loop_resistor.sp", 2, "same node"},
+      {"bad_suffix.sp", 2, "bad numeric suffix"},
+      {"unknown_card.sp", 3, "unknown card"},
+      {"missing_model.sp", 2, "unknown model"},
+  };
+  return cases;
+}
+
+TEST(ParserCorpus, EveryMalformedFileDiagnosesTheOffendingLine) {
+  for (const MalformedCase& c : malformed_corpus()) {
+    const std::string text = read_corpus_file(c.file);
+    ASSERT_FALSE(text.empty()) << c.file;
+    try {
+      (void)parse_netlist(text);
+      ADD_FAILURE() << c.file << ": malformed netlist parsed silently";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.file << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.what_contains), std::string::npos)
+          << c.file << ": diagnostic was '" << e.what() << "'";
+      // The rendered message carries the line number for the user.
+      EXPECT_NE(std::string(e.what()).find(std::to_string(c.line)), std::string::npos)
+          << c.file << ": diagnostic does not show the line: '" << e.what() << "'";
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << c.file << ": escaped as " << typeid(e).name() << ": " << e.what();
+    }
+  }
+}
+
+TEST(ParserCorpus, ValidFilesStillParse) {
+  const Netlist divider = parse_netlist(read_corpus_file("valid_divider.sp"));
+  EXPECT_EQ(divider.resistors().size(), 2u);
+  EXPECT_EQ(divider.vsources().size(), 1u);
+
+  // Shared terminals on a four-terminal device are legal (diode-connected
+  // MOSFET); only two-terminal self-loops are degenerate.
+  const Netlist diode = parse_netlist(read_corpus_file("valid_diode_connected.sp"));
+  EXPECT_EQ(diode.mosfets().size(), 1u);
+}
+
+// Property: any prefix of a valid netlist — a file truncated mid-transfer —
+// either parses or raises ParseError.  Nothing else may escape and nothing
+// may crash.  Truncation is by byte, so this also covers cut-off tokens
+// ("r1 in mid 1" and friends), not just cut-off lines.
+TEST(ParserCorpus, TruncationsOfValidFilesNeverCrash) {
+  for (const char* file : {"valid_divider.sp", "valid_diode_connected.sp"}) {
+    const std::string text = read_corpus_file(file);
+    for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+      const std::string prefix = text.substr(0, cut);
+      try {
+        (void)parse_netlist(prefix);
+      } catch (const ParseError&) {
+        // fine: diagnosed
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << file << " cut at byte " << cut << ": escaped as "
+                      << typeid(e).name() << ": " << e.what();
+      }
+    }
+  }
+}
+
+// Property: splicing junk tokens into any position of a valid card is either
+// diagnosed with the right line number or (for pure comment edits) ignored.
+TEST(ParserCorpus, MutatedValuesAreDiagnosedOnTheRightLine) {
+  const std::string base = read_corpus_file("valid_divider.sp");
+  const std::vector<std::string> poisons = {"nan", "inf", "-inf", "1e999", "1e308k",
+                                            "12zz", "", "  "};
+  std::istringstream in(base);
+  std::vector<std::string> lines;
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    if (lines[li].empty() || lines[li][0] == '*' || lines[li][0] == '.') continue;
+    for (const std::string& poison : poisons) {
+      // Replace the value token (last token) of the card on line li.
+      std::vector<std::string> mutated = lines;
+      const auto pos = mutated[li].find_last_of(' ');
+      ASSERT_NE(pos, std::string::npos);
+      mutated[li] = mutated[li].substr(0, pos + 1) + poison;
+      std::string text;
+      for (const auto& l : mutated) text += l + "\n";
+      try {
+        (void)parse_netlist(text);
+        // Blank poisons turn "r1 in mid 1k" into a 3-token card, which must
+        // itself be rejected — so reaching here is always a failure.
+        ADD_FAILURE() << "line " << li + 1 << " poisoned with '" << poison
+                      << "' parsed silently";
+      } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), li + 1) << "poison '" << poison << "'";
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "line " << li + 1 << " poison '" << poison
+                      << "': escaped as " << typeid(e).name() << ": " << e.what();
+      }
+    }
+  }
+}
+
+// Direct unit coverage of the hardening added alongside the corpus: the
+// numeric layer itself refuses non-finite results in every form.
+TEST(ParserCorpus, NumericLayerRejectsNonFinite) {
+  EXPECT_THROW(parse_spice_number("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("NaN"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("-inf"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1e999"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1e308k"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1e308"), 1e308);  // finite edge stays legal
+}
+
+}  // namespace
+}  // namespace issa::circuit

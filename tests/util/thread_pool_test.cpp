@@ -135,19 +135,19 @@ TEST(ThreadPool, ExceptionFromRecursiveSubmissionPropagates) {
 }
 
 TEST(ThreadPool, ShutdownWhileBusyDrainsAllTasks) {
-  // Destroying the pool while a parallel_for is mid-flight must drain every
-  // queued chunk (no lost work) and join cleanly instead of crashing.
+  // Destroying the pool while workers are busy must drain every queued task
+  // (no lost work) and join cleanly instead of crashing.  Enqueue directly so
+  // pool lifetime stays owned by this thread: destroying the pool while
+  // another thread is inside a member call is not part of the contract.
   auto pool = std::make_unique<ThreadPool>(2);
   std::atomic<int> done{0};
-  std::thread driver([&] {
-    pool->parallel_for(0, 32, [&](std::size_t) {
+  for (int i = 0; i < 32; ++i) {
+    pool->enqueue([&done] {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       done.fetch_add(1);
     });
-  });
-  std::this_thread::sleep_for(std::chrono::milliseconds(3));
-  pool.reset();  // shutdown while workers are busy
-  driver.join();
+  }
+  pool.reset();  // shutdown while workers are busy; queue is still deep
   EXPECT_EQ(done.load(), 32);
 }
 
