@@ -6,7 +6,7 @@
 //  3. occupancy statistics: Bernoulli-sampled atomistic aging (the paper's
 //     model) vs expected-value aging — what the distribution loses.
 //
-// Usage: bench_ablation_methods [--mc=N] [--fast] [--seed=S]
+// Usage: bench_ablation_methods [--mc=N] [--fast] [--seed=S] [--cache[=dir]] [--shard=i/N]
 #include <chrono>
 #include <cmath>
 #include <iostream>
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ablation_methods");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_ablation_methods", metrics.run_id());
   const analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
   const std::size_t n = std::min<std::size_t>(mc.iterations, 100);

@@ -7,7 +7,7 @@
 //  2. the aged offset mean that a residual imbalance would re-introduce,
 //     through the full stress-map -> BTI -> Monte-Carlo pipeline.
 //
-// Usage: bench_ablation_switch_period [--mc=N] [--fast] [--seed=S]
+// Usage: bench_ablation_switch_period [--mc=N] [--fast] [--seed=S] [--cache[=dir]] [--shard=i/N]
 #include <cmath>
 #include <iostream>
 
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ablation_switch_period");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_ablation_switch_period", metrics.run_id());
   const analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
   const std::size_t stream_len = 1 << 16;

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "issa/analysis/mc_cache.hpp"
 #include "issa/analysis/montecarlo.hpp"
 #include "issa/core/experiment.hpp"
 #include "issa/util/cli.hpp"
+#include "issa/util/store/store.hpp"
 #include "issa/util/metrics.hpp"
 #include "issa/util/runinfo.hpp"
 #include "issa/util/table.hpp"
@@ -136,6 +138,62 @@ class TraceSession {
   bool emitted_ = false;
 };
 
+/// Opens the Monte-Carlo sample cache when --cache (or ISSA_CACHE=1) was
+/// given and closes it — flushing the store — when the bench finishes.  The
+/// destructor prints one machine-greppable summary line:
+///   cache: hits=<h> misses=<m> stores=<s> dir=<directory>
+/// which scripts/check_cache_*.sh parse to gate warm-rerun hit rates.  All
+/// benches share the ".issa-cache" default directory; --cache=dir overrides.
+class CacheSession {
+ public:
+  explicit CacheSession(const util::Options& options)
+      : active_(util::cache_requested(options)) {
+    if (!active_) return;
+    if constexpr (ISSA_STORE_ENABLED) {
+      directory_ = util::cache_directory(options, ".issa-cache");
+      analysis::mc_cache::open(directory_);
+      const util::store::StoreStats stats = analysis::mc_cache::store()->stats();
+      std::cout << "cache: loaded " << stats.records_loaded << " record(s) from "
+                << stats.segments_loaded << " segment(s) in " << directory_;
+      if (stats.corrupt_segments > 0) {
+        std::cout << " (" << stats.corrupt_segments << " segment(s) had a damaged tail; "
+                  << stats.bytes_dropped << " byte(s) dropped, will re-simulate)";
+      }
+      std::cout << "\n";
+    } else {
+      // Asking for a cache in a build without the store is almost certainly
+      // a mistake; say so instead of silently re-simulating everything.
+      std::fprintf(stderr, "[issa] --cache/ISSA_CACHE ignored: built with -DISSA_STORE=OFF\n");
+      active_ = false;
+    }
+  }
+
+  void emit() {
+    if (!active_ || emitted_) return;
+    emitted_ = true;
+    const analysis::mc_cache::CacheCounts counts = analysis::mc_cache::counts();
+    analysis::mc_cache::close();
+    std::cout << "cache: hits=" << counts.hits << " misses=" << counts.misses
+              << " stores=" << counts.stores << " dir=" << directory_ << "\n";
+  }
+
+  ~CacheSession() {
+    try {
+      emit();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cache close failed: %s\n", e.what());
+    }
+  }
+
+  CacheSession(const CacheSession&) = delete;
+  CacheSession& operator=(const CacheSession&) = delete;
+
+ private:
+  std::string directory_;
+  bool active_ = false;
+  bool emitted_ = false;
+};
+
 /// Paper reference values for one experiment row (mV / mV / mV / ps).
 struct PaperRow {
   double mu, sigma, spec, delay;
@@ -152,6 +210,13 @@ inline analysis::McConfig mc_from_options(const util::Options& options,
   mc.max_quarantine_fraction =
       options.get_double_or("quarantine-max", mc.max_quarantine_fraction);
   mc.run_id = std::move(run_id);
+  if (const auto shard = util::shard_from_options(options)) {
+    mc.shard_index = shard->index;
+    mc.shard_count = shard->count;
+    std::cout << "shard " << shard->index << "/" << shard->count
+              << ": computing samples with index % " << shard->count << " == " << shard->index
+              << "\n";
+  }
   return mc;
 }
 
@@ -198,13 +263,20 @@ inline void print_rows_with_reference(const std::string& title,
   // right under the data it degrades.
   std::size_t quarantined = 0;
   std::size_t recovered = 0;
+  std::size_t skipped = 0;
   for (const auto& r : rows) {
     quarantined += r.quarantined;
     recovered += r.recovered;
+    skipped += r.skipped;
   }
   if (quarantined > 0 || recovered > 0) {
     std::cout << "!!! DEGRADED RUN: " << quarantined << " quarantined sample(s), " << recovered
               << " recovered by retry; statistics cover valid samples only\n\n";
+  }
+  if (skipped > 0) {
+    std::cout << "!!! PARTIAL (SHARDED) RUN: " << skipped
+              << " sample(s) left to other shards; merge the shard caches and rerun unsharded "
+                 "with --cache for full statistics\n\n";
   }
 }
 

@@ -6,7 +6,7 @@
 // mu/sigma/spec and delay, fresh and after 1e8 s of the paper's workloads,
 // with and without input switching.
 //
-// Usage: bench_ext_double_tail [--mc=N] [--fast] [--seed=S]
+// Usage: bench_ext_double_tail [--mc=N] [--fast] [--seed=S] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_ext_double_tail");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_ext_double_tail", metrics.run_id());
   const analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
 

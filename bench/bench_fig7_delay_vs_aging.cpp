@@ -5,7 +5,7 @@
 // NSSA-80r0 curve degrades fastest and ends ~10% slower than the ISSA at
 // t = 1e8 s, even though the ISSA starts slightly slower at t = 0.
 //
-// Usage: bench_fig7_delay_vs_aging [--mc=N] [--fast] [--seed=S] [--csv=path]
+// Usage: bench_fig7_delay_vs_aging [--mc=N] [--fast] [--seed=S] [--csv=path] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_fig7_delay_vs_aging");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_fig7_delay_vs_aging", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 

@@ -3,7 +3,7 @@
 // time does the ISSA save over a worst-case-provisioned design, and how long
 // does an unmitigated SA take to burn through the mitigated design's budget?
 //
-// Usage: bench_guardband [--mc=N] [--fast] [--seed=S]
+// Usage: bench_guardband [--mc=N] [--fast] [--seed=S] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_guardband");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_guardband", metrics.run_id());
   analysis::McConfig mc = bench::mc_from_options(options, metrics.run_id());
   // The lifetime-extension search runs ~10 extra Monte-Carlo cells; shrink

@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
   const issa::util::Options options(argc, argv);
   issa::bench::MetricsSession metrics(options, "bench_kernels");
   issa::util::apply_fault_options(options);
+  issa::bench::CacheSession cache(options);
   issa::bench::TraceSession trace(options, "bench_kernels", metrics.run_id());
 
   std::vector<char*> args;

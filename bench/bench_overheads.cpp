@@ -1,7 +1,7 @@
 // Quantifies the ISSA overhead discussion of Sec. IV-C: area, energy, and
 // the system-level read-time impact, across array geometries.
 //
-// Usage: bench_overheads [--mc=N] [--fast]
+// Usage: bench_overheads [--mc=N] [--fast] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_overheads");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_overheads", metrics.run_id());
 
   std::cout << "Reproducing Sec. IV-C overhead discussion\n\n";

@@ -1,7 +1,7 @@
 // Reproduces Table II / Fig. 4: workload impact on offset voltage and delay
 // at nominal Vdd (1.0 V) and 25 C, t = 0 and t = 1e8 s.
 //
-// Usage: bench_table2_workload [--mc=N] [--fast] [--seed=S] [--csv=path]
+// Usage: bench_table2_workload [--mc=N] [--fast] [--seed=S] [--csv=path] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table2_workload");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_table2_workload", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 

@@ -1,7 +1,7 @@
 // Reproduces Table III / Fig. 5: supply-voltage impact (+/-10% Vdd) on the
 // offset voltage and sensing delay at 25 C, t = 0 and t = 1e8 s.
 //
-// Usage: bench_table3_voltage [--mc=N] [--fast] [--seed=S] [--csv=path]
+// Usage: bench_table3_voltage [--mc=N] [--fast] [--seed=S] [--csv=path] [--cache[=dir]] [--shard=i/N]
 #include <cmath>
 #include <iostream>
 
@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table3_voltage");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_table3_voltage", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 

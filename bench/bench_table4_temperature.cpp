@@ -1,7 +1,7 @@
 // Reproduces Table IV / Fig. 6: temperature impact (75 C, 125 C) on the
 // offset voltage and sensing delay at nominal Vdd, t = 0 and t = 1e8 s.
 //
-// Usage: bench_table4_temperature [--mc=N] [--fast] [--seed=S] [--csv=path]
+// Usage: bench_table4_temperature [--mc=N] [--fast] [--seed=S] [--csv=path] [--cache[=dir]] [--shard=i/N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const util::Options options(argc, argv);
   bench::MetricsSession metrics(options, "bench_table4_temperature");
   util::apply_fault_options(options);
+  bench::CacheSession cache(options);
   bench::TraceSession trace(options, "bench_table4_temperature", metrics.run_id());
   core::ExperimentRunner runner(bench::mc_from_options(options, metrics.run_id()));
 

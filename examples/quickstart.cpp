@@ -1,9 +1,11 @@
 // Quickstart: build a sense amplifier, give it process variation, and
 // measure its two figures of merit — offset voltage and sensing delay.
 //
-//   $ ./quickstart [--metrics[=stem]] [--trace[=stem]] [--faults=spec]
+//   $ ./quickstart [--metrics[=stem]] [--trace[=stem]] [--faults=spec] [--cache[=dir]]
 #include <cstdio>
 
+#include "issa/analysis/mc_cache.hpp"
+#include "issa/analysis/montecarlo.hpp"
 #include "issa/sa/builder.hpp"
 #include "issa/sa/measure.hpp"
 #include "issa/util/cli.hpp"
@@ -52,7 +54,30 @@ int main(int argc, char** argv) {
   std::printf("ISSA delay     : %.2f ps (overhead of the extra pass pair)\n",
               util::to_ps(sa::measure_delay(issa).worst()));
 
-  // 6. With --metrics: dump the solver work this run cost (Newton iterations,
+  // 6. With --cache[=dir] (or ISSA_CACHE=1): a small Monte-Carlo offset
+  //    distribution through the persistent sample cache.  The first run
+  //    simulates and stores every sample; run the same command again and the
+  //    samples replay from disk as cache hits, bit-identically.
+  if (util::cache_requested(options)) {
+    analysis::mc_cache::open(util::cache_directory(options, ".issa-cache"));
+    analysis::Condition condition;
+    condition.kind = sa::SenseAmpKind::kNssa;
+    condition.config = config;
+    analysis::McConfig mc;
+    mc.iterations = 16;
+    const analysis::OffsetDistribution dist =
+        analysis::measure_offset_distribution(condition, mc);
+    const analysis::mc_cache::CacheCounts counts = analysis::mc_cache::counts();
+    analysis::mc_cache::close();
+    std::printf("cached MC      : sigma %.1f mV over %zu samples (hits=%llu misses=%llu"
+                " stores=%llu)\n",
+                util::to_mV(dist.summary.stddev), dist.valid_count(),
+                static_cast<unsigned long long>(counts.hits),
+                static_cast<unsigned long long>(counts.misses),
+                static_cast<unsigned long long>(counts.stores));
+  }
+
+  // 7. With --metrics: dump the solver work this run cost (Newton iterations,
   //    LU factorizations, ...) as JSON + CSV sidecars.
   if (util::metrics::enabled()) {
     const std::string stem = util::metrics_report_stem(options, "quickstart");
@@ -68,7 +93,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %s.metrics.json / .csv\n", stem.c_str());
   }
 
-  // 7. With --trace: dump the span timeline of the same work as Chrome
+  // 8. With --trace: dump the span timeline of the same work as Chrome
   //    trace-event JSON (load in Perfetto) plus a compact JSONL stream, and a
   //    forensics sidecar if any solve failed.  Pipe the .trace.json through
   //    `trace_report` for a terminal summary.

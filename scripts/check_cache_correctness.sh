@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Correctness gates for the persistent Monte-Carlo sample cache, end to end
+# through the real bench binaries:
+#
+#   1. warm rerun: bit-identical stdout, >= MIN_HIT_PCT% cache hits (checked
+#      against both the bench's cache: summary line and the mc.cache_hits
+#      metrics counter)
+#   2. corruption: a truncated segment is detected (store_report --check
+#      fails), tolerated (the bench re-simulates the lost tail and still
+#      prints bit-identical results), and surfaced in the bench's output
+#   3. sharding: two --shard=i/2 stores merged with store_report --merge
+#      replay an unsharded rerun bit-identically
+#
+#   $ scripts/check_cache_correctness.sh
+#
+# Environment overrides:
+#   MC              Monte-Carlo iterations per condition  (default 16)
+#   MIN_HIT_PCT     required warm-rerun hit percentage    (default 90)
+#   BUILD_DIR       bench build tree                      (default build-cache)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+MC="${MC:-16}"
+MIN_HIT_PCT="${MIN_HIT_PCT:-90}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-cache}"
+BENCH="$BUILD_DIR/bench/bench_table2_workload"
+STORE_REPORT="$BUILD_DIR/tools/store_report"
+
+echo "== building Release tree =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_table2_workload store_report -j "$(nproc)" >/dev/null
+for binary in "$BENCH" "$STORE_REPORT"; do
+  if [[ ! -x "$binary" ]]; then
+    echo "FAIL: binary missing after build: $binary" >&2
+    exit 2
+  fi
+done
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+results_of() { grep -v '^cache:' "$1"; }
+cache_line() { grep '^cache: hits=' "$1"; }
+field() { sed -n "s/^cache: hits=\([0-9]*\) misses=\([0-9]*\) stores=\([0-9]*\).*/\\$2/p" <<<"$1"; }
+
+echo "== 1. cold -> warm rerun (--mc=$MC) =="
+# Both runs use the same metrics stem so their stdout is comparable; the warm
+# run's CSV overwrites the cold one's, which is the one we want to inspect.
+"$BENCH" --mc="$MC" --cache="$work/store" --metrics=run >cold.txt
+"$BENCH" --mc="$MC" --cache="$work/store" --metrics=run >warm.txt
+if ! diff <(results_of cold.txt) <(results_of warm.txt); then
+  echo "FAIL: warm rerun results differ from cold run" >&2
+  exit 1
+fi
+line="$(cache_line warm.txt)"
+hits="$(field "$line" 1)"
+misses="$(field "$line" 2)"
+total=$((hits + misses))
+hit_pct=$((100 * hits / total))
+echo "warm rerun: $hits/$total hits (${hit_pct}%)"
+if (( hit_pct < MIN_HIT_PCT )); then
+  echo "FAIL: warm hit rate ${hit_pct}% < required ${MIN_HIT_PCT}%" >&2
+  exit 1
+fi
+# Cross-check against the metrics layer: the mc.cache_hits counter of the
+# warm run must agree with the summary line.
+metric_hits="$(awk -F, '$1 == "mc.cache_hits" { print $3 }' run.metrics.csv)"
+if [[ "$metric_hits" != "$hits" ]]; then
+  echo "FAIL: mc.cache_hits counter ($metric_hits) disagrees with summary ($hits)" >&2
+  exit 1
+fi
+echo "ok: bit-identical warm rerun, mc.cache_hits=$metric_hits"
+
+echo "== 2. corrupted segment: detected, tolerated, re-simulated =="
+segment="$(ls "$work"/store/*.issaseg | head -n1)"
+size="$(stat -c%s "$segment")"
+truncate -s $((size - 23)) "$segment"
+if "$STORE_REPORT" --check "$work/store" >check.txt 2>&1; then
+  echo "FAIL: store_report --check passed on a truncated store" >&2
+  cat check.txt >&2
+  exit 1
+fi
+echo "ok: store_report --check detects the damaged segment"
+"$BENCH" --mc="$MC" --cache="$work/store" --metrics=run >truncated.txt
+if ! grep -q 'damaged tail' truncated.txt; then
+  echo "FAIL: bench did not surface the damaged segment" >&2
+  exit 1
+fi
+if ! diff <(results_of cold.txt) <(results_of truncated.txt); then
+  echo "FAIL: results after truncation differ from the cold run" >&2
+  exit 1
+fi
+line="$(cache_line truncated.txt)"
+if [[ "$(field "$line" 2)" == 0 ]]; then
+  echo "FAIL: truncation dropped no records — the test tested nothing" >&2
+  exit 1
+fi
+echo "ok: truncated store replayed $(field "$line" 1) and re-simulated $(field "$line" 2) sample(s), bit-identically"
+
+echo "== 3. sharded sweep merges into the unsharded statistics =="
+"$BENCH" --mc="$MC" --cache="$work/s0" --shard=0/2 >shard0.txt
+"$BENCH" --mc="$MC" --cache="$work/s1" --shard=1/2 >shard1.txt
+"$STORE_REPORT" --merge "$work/merged" "$work/s0" "$work/s1"
+"$BENCH" --mc="$MC" --cache="$work/merged" --metrics=run >merged.txt
+if ! diff <(results_of cold.txt) <(results_of merged.txt); then
+  echo "FAIL: merged-shard warm rerun differs from the unsharded run" >&2
+  exit 1
+fi
+line="$(cache_line merged.txt)"
+if [[ "$(field "$line" 2)" != 0 ]]; then
+  echo "FAIL: merged store missed $(field "$line" 2) sample(s): $line" >&2
+  exit 1
+fi
+echo "ok: 2-shard merge replays the unsharded sweep bit-identically"
+
+echo
+echo "OK: all cache correctness gates passed"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Guards the warm-rerun promise of the Monte-Carlo sample cache: runs the
+# Table II bench cold (empty store, everything simulated and stored) and warm
+# (same store, everything replayed), fails unless the warm rerun is at least
+# MIN_SPEEDUP times faster AND prints bit-identical results, and records the
+# measured ratio in BENCH_cache_speedup.json.
+#
+#   $ scripts/check_cache_speedup.sh
+#
+# Environment overrides:
+#   MIN_SPEEDUP     required cold/warm wall-time ratio    (default 5.0)
+#   MC              Monte-Carlo iterations per condition  (default 24)
+#   BUILD_DIR       bench build tree                      (default build-cache)
+#   OUT_JSON        result artifact                       (default BENCH_cache_speedup.json)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+MIN_SPEEDUP="${MIN_SPEEDUP:-5.0}"
+MC="${MC:-24}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-cache}"
+OUT_JSON="${OUT_JSON:-$ROOT/BENCH_cache_speedup.json}"
+BENCH="$BUILD_DIR/bench/bench_table2_workload"
+
+echo "== building Release tree =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_table2_workload -j "$(nproc)" >/dev/null
+if [[ ! -x "$BENCH" ]]; then
+  echo "FAIL: bench binary missing after build: $BENCH" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+store="$work/store"
+
+now_ms() { date +%s%3N; }
+
+echo "== cold run (empty store, --mc=$MC) =="
+start="$(now_ms)"
+"$BENCH" --mc="$MC" --cache="$store" >"$work/cold.txt"
+cold_ms=$(($(now_ms) - start))
+
+echo "== warm run (same store) =="
+start="$(now_ms)"
+"$BENCH" --mc="$MC" --cache="$store" >"$work/warm.txt"
+warm_ms=$(($(now_ms) - start))
+(( warm_ms > 0 )) || warm_ms=1
+
+# The cache: summary lines differ by design (hits vs stores); every result
+# line must not.
+grep -v '^cache:' "$work/cold.txt" >"$work/cold-results.txt"
+grep -v '^cache:' "$work/warm.txt" >"$work/warm-results.txt"
+if ! diff -u "$work/cold-results.txt" "$work/warm-results.txt"; then
+  echo "FAIL: warm rerun printed different results than the cold run" >&2
+  exit 1
+fi
+echo "ok: warm results bit-identical to cold run"
+
+# The warm run must actually have replayed: zero misses.
+warm_line="$(grep '^cache: hits=' "$work/warm.txt")"
+misses="$(sed -n 's/^cache: hits=[0-9]* misses=\([0-9]*\).*/\1/p' <<<"$warm_line")"
+if [[ "$misses" != 0 ]]; then
+  echo "FAIL: warm rerun missed $misses sample(s): $warm_line" >&2
+  exit 1
+fi
+
+speedup=$(awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { printf "%.2f", c / w }')
+echo "cold ${cold_ms} ms, warm ${warm_ms} ms -> ${speedup}x"
+
+cat >"$OUT_JSON" <<EOF
+{
+  "bench": "bench_table2_workload --mc=$MC --cache",
+  "cold_ms": $cold_ms,
+  "warm_ms": $warm_ms,
+  "speedup": $speedup,
+  "min_speedup": $MIN_SPEEDUP
+}
+EOF
+echo "wrote $OUT_JSON"
+
+if awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s >= m) }'; then
+  echo "OK: warm rerun ${speedup}x faster (required: ${MIN_SPEEDUP}x)"
+else
+  echo "FAIL: warm rerun only ${speedup}x faster (required: ${MIN_SPEEDUP}x)" >&2
+  exit 1
+fi

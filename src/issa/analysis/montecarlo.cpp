@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "issa/aging/bti_model.hpp"
+#include "issa/analysis/mc_cache.hpp"
 #include "issa/sa/double_tail.hpp"
 #include "issa/util/faultpoint.hpp"
 #include "issa/util/metrics.hpp"
@@ -50,6 +51,17 @@ util::metrics::Counter& m_quarantined() {
   return c;
 }
 
+// FNV-1a, for the deterministic auto run id (works in every build config,
+// unlike the store's SHA-256 which compiles out under -DISSA_STORE=OFF).
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t h) noexcept {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 std::atomic<std::uint64_t> g_stress_map_builds{0};
 
 }  // namespace
@@ -60,6 +72,16 @@ double OffsetDistribution::spec(double failure_rate) const {
 
 std::uint64_t condition_stress_map_builds() noexcept {
   return g_stress_map_builds.load(std::memory_order_relaxed);
+}
+
+std::string effective_run_id(const Condition& condition, const McConfig& mc) {
+  if (!mc.run_id.empty()) return mc.run_id;
+  const std::string label = condition_label(condition);
+  std::uint64_t h = fnv1a(label.data(), label.size(), 1469598103934665603ull);
+  h = fnv1a(&mc.seed, sizeof mc.seed, h);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "auto-%016llx", static_cast<unsigned long long>(h));
+  return buf;
 }
 
 aging::DeviceStressMap condition_stress_map(const Condition& condition) {
@@ -119,8 +141,15 @@ const char* kind_name(sa::SenseAmpKind kind) {
 
 // Per-sample outcome slots.  Index-addressed (one slot per sample, no locks)
 // so recording an outcome is scheduling-free: the quarantine list assembled
-// from the slots afterwards is bit-identical for every thread count.
-enum : unsigned char { kSampleOk = 0, kSampleRecovered = 1, kSampleQuarantined = 2 };
+// from the slots afterwards is bit-identical for every thread count.  The
+// ok/recovered/quarantined values are also what the sample cache persists in
+// CachedSample::status, so a warm rerun replays the full outcome record.
+enum : unsigned char {
+  kSampleOk = 0,
+  kSampleRecovered = 1,
+  kSampleQuarantined = 2,
+  kSampleSkipped = 3,  // out-of-shard; never cached
+};
 
 // Runs `body(i, attempt)` over the sample indices, in parallel when
 // requested, with per-sample work accounting and fault tolerance.  Each
@@ -135,10 +164,19 @@ enum : unsigned char { kSampleOk = 0, kSampleRecovered = 1, kSampleQuarantined =
 // quarantined if the retry also fails.  logic_error and friends still
 // propagate: those are bugs, not sample pathologies.  Throws
 // McDegradationError after the full sweep when the quarantined fraction
-// exceeds mc.max_quarantine_fraction.
-template <typename Body>
+// exceeds mc.max_quarantine_fraction (of the samples this shard computes).
+//
+// `replay(i, status, error)` short-circuits a sample from the cache: when it
+// returns true the body is skipped entirely — the replayer has written the
+// sample's value slot and outcome.  `persist(i, status, error)` is invoked
+// for every computed sample (ok, recovered, and quarantined alike) so the
+// cache captures the complete outcome record.  Samples outside the
+// McConfig shard are marked kSampleSkipped and neither replayed, computed,
+// nor persisted.
+template <typename Body, typename Replay, typename Persist>
 McDegradation for_samples(const Condition& condition, const McConfig& mc,
-                          const char* phase_name, Body&& body) {
+                          const char* phase_name, Body&& body, Replay&& replay,
+                          Persist&& persist) {
   util::trace::Span phase(phase_name, "mc");
   if (phase.active()) {
     phase.attr_u64("iterations", mc.iterations);
@@ -151,8 +189,23 @@ McDegradation for_samples(const Condition& condition, const McConfig& mc,
 
   std::vector<unsigned char> status(mc.iterations, kSampleOk);
   std::vector<std::string> errors(mc.iterations);
+  const std::string run_id = effective_run_id(condition, mc);
 
   auto counted = [&](std::size_t i) {
+    if (!mc.in_shard(i)) {
+      status[i] = kSampleSkipped;
+      return;
+    }
+    // Cache replay first: a hit costs a hash lookup, not a simulation.  The
+    // replayed outcome (ok/recovered/quarantined) flows through the same
+    // status slots, so degradation accounting is identical warm and cold.
+    if (replay(i, status[i], errors[i])) {
+      // Keep the quarantine counter honest on warm reruns: the report lists
+      // the replayed quarantine, so the metric must account for it too.
+      if (status[i] == kSampleQuarantined) m_quarantined().add();
+      m_samples().add();
+      return;
+    }
     const util::metrics::Timer::Scope timing(m_sample_time());
     util::trace::Span span(util::trace::spans::kMcSample, "mc");
     std::vector<util::trace::Attr> context;
@@ -199,12 +252,13 @@ McDegradation for_samples(const Condition& condition, const McConfig& mc,
           event.attrs.push_back(util::trace::Attr::u64("sample", i));
           event.attrs.push_back(util::trace::Attr::u64("seed", mc.seed));
           event.attrs.push_back(util::trace::Attr::str("condition", condition_label(condition)));
-          event.attrs.push_back(util::trace::Attr::str("run_id", mc.run_id));
+          event.attrs.push_back(util::trace::Attr::str("run_id", run_id));
           event.attrs.push_back(util::trace::Attr::str("error", errors[i]));
           util::trace::record_forensic(std::move(event));
         }
       }
     }
+    persist(i, status[i], errors[i]);
     m_samples().add();
   };
   if (mc.parallel) {
@@ -220,7 +274,7 @@ McDegradation for_samples(const Condition& condition, const McConfig& mc,
       ++deg.recovered;
     } else if (status[i] == kSampleQuarantined) {
       deg.quarantined.push_back(QuarantinedSample{i, mc.seed, condition_label(condition),
-                                                  mc.run_id, std::move(errors[i])});
+                                                  run_id, std::move(errors[i])});
     }
   }
 
@@ -234,13 +288,16 @@ McDegradation for_samples(const Condition& condition, const McConfig& mc,
                  static_cast<unsigned long long>(mc.seed));
   }
 
+  // The degradation threshold judges the work this run actually did: a
+  // shard's denominator is its own sample count, not the whole sweep's.
+  const std::size_t computed = mc.shard_iterations(mc.iterations);
   const double fraction =
-      mc.iterations == 0 ? 0.0
-                         : static_cast<double>(deg.quarantined.size()) /
-                               static_cast<double>(mc.iterations);
+      computed == 0 ? 0.0
+                    : static_cast<double>(deg.quarantined.size()) /
+                          static_cast<double>(computed);
   if (fraction > mc.max_quarantine_fraction) {
     std::ostringstream os;
-    os << phase_name << ": " << deg.quarantined.size() << "/" << mc.iterations
+    os << phase_name << ": " << deg.quarantined.size() << "/" << computed
        << " samples quarantined (" << fraction * 100.0 << "% > max "
        << mc.max_quarantine_fraction * 100.0 << "%) [" << condition_label(condition)
        << " seed=" << mc.seed << "]";
@@ -258,18 +315,19 @@ McDegradation for_samples(const Condition& condition, const McConfig& mc,
   return deg;
 }
 
-// Drops the quarantined slots (ascending-sorted in `quarantined`) so the
-// summary statistics see only valid samples.
+// Drops the quarantined slots (ascending-sorted in `quarantined`) and the
+// slots left to other shards, so the summary statistics see only valid
+// computed samples.
 std::vector<double> valid_samples(const std::vector<double>& values,
-                                  const std::vector<QuarantinedSample>& quarantined) {
+                                  const std::vector<QuarantinedSample>& quarantined,
+                                  const McConfig& mc) {
   std::vector<double> out;
   out.reserve(values.size() - quarantined.size());
   std::size_t qi = 0;
   for (std::size_t i = 0; i < values.size(); ++i) {
-    if (qi < quarantined.size() && quarantined[qi].sample == i) {
-      ++qi;
-      continue;
-    }
+    const bool is_quarantined = qi < quarantined.size() && quarantined[qi].sample == i;
+    if (is_quarantined) ++qi;
+    if (is_quarantined || !mc.in_shard(i)) continue;
     out.push_back(values[i]);
   }
   return out;
@@ -287,14 +345,21 @@ std::string condition_label(const Condition& condition) {
 OffsetDistribution measure_offset_distribution(const Condition& condition, const McConfig& mc) {
   OffsetDistribution dist;
   dist.offsets.assign(mc.iterations, std::numeric_limits<double>::quiet_NaN());
+  dist.skipped = mc.iterations - mc.shard_iterations(mc.iterations);
   std::vector<char> saturated(mc.iterations, 0);
+
+  // One fingerprint per distribution call covers every per-condition cache
+  // input; samples then key off (fingerprint, kind, index).
+  const std::string fp =
+      mc_cache::enabled() ? mc_cache::condition_fingerprint(condition, mc) : std::string();
 
   // Aged stress maps are identical across samples: compute once, share
   // read-only across the pool.
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
   dist.degradation = for_samples(
-      condition, mc, util::trace::spans::kMcOffsetDistribution, [&](std::size_t i, int attempt) {
+      condition, mc, util::trace::spans::kMcOffsetDistribution,
+      [&](std::size_t i, int attempt) {
         sa::SenseAmpCircuit circuit = build_sample(condition, mc, i, stress ? &*stress : nullptr);
         sa::OffsetSearchOptions search;
         if (attempt > 0) {
@@ -309,21 +374,44 @@ OffsetDistribution measure_offset_distribution(const Condition& condition, const
         const sa::OffsetResult r = sa::measure_offset(circuit, search);
         dist.offsets[i] = r.offset;
         saturated[i] = r.saturated ? 1 : 0;
+      },
+      [&](std::size_t i, unsigned char& status, std::string& error) {
+        if (fp.empty()) return false;
+        mc_cache::CachedSample cached;
+        if (!mc_cache::lookup(fp, "offset", i, cached)) return false;
+        dist.offsets[i] = cached.value;
+        saturated[i] = cached.saturated ? 1 : 0;
+        status = cached.status;
+        error = cached.error;
+        return true;
+      },
+      [&](std::size_t i, unsigned char status, const std::string& error) {
+        if (fp.empty()) return;
+        mc_cache::insert(fp, "offset", i,
+                         mc_cache::CachedSample{status, dist.offsets[i], saturated[i] != 0, error});
       });
 
   for (const char s : saturated) dist.saturated_count += s;
   m_saturated().add(dist.saturated_count);
-  dist.summary = util::summarize(valid_samples(dist.offsets, dist.degradation.quarantined));
+  dist.summary = util::summarize(valid_samples(dist.offsets, dist.degradation.quarantined, mc));
   return dist;
 }
 
 DelayDistribution measure_delay_distribution(const Condition& condition, const McConfig& mc) {
   DelayDistribution dist;
   dist.delays.assign(mc.iterations, std::numeric_limits<double>::quiet_NaN());
+  dist.skipped = mc.iterations - mc.shard_iterations(mc.iterations);
+  const std::string fp =
+      mc_cache::enabled() ? mc_cache::condition_fingerprint(condition, mc) : std::string();
+  // The two delay metrics derive different values from one sample's pair of
+  // transients, so they occupy distinct key spaces.
+  const char* kind =
+      mc.delay_metric == DelayMetric::kWorstDirection ? "delay.worst" : "delay.mean";
   std::optional<aging::DeviceStressMap> stress;
   if (condition.aged()) stress.emplace(condition_stress_map(condition));
   dist.degradation = for_samples(
-      condition, mc, util::trace::spans::kMcDelayDistribution, [&](std::size_t i, int) {
+      condition, mc, util::trace::spans::kMcDelayDistribution,
+      [&](std::size_t i, int) {
         // The delay measurement has no tunable search profile; the retry
         // still re-runs from a fresh build and draws fresh injected-fault
         // decisions (attempt = 1).
@@ -331,8 +419,22 @@ DelayDistribution measure_delay_distribution(const Condition& condition, const M
         const sa::DelayPair pair = sa::measure_delay(circuit);
         dist.delays[i] =
             mc.delay_metric == DelayMetric::kWorstDirection ? pair.worst() : pair.mean();
+      },
+      [&](std::size_t i, unsigned char& status, std::string& error) {
+        if (fp.empty()) return false;
+        mc_cache::CachedSample cached;
+        if (!mc_cache::lookup(fp, kind, i, cached)) return false;
+        dist.delays[i] = cached.value;
+        status = cached.status;
+        error = cached.error;
+        return true;
+      },
+      [&](std::size_t i, unsigned char status, const std::string& error) {
+        if (fp.empty()) return;
+        mc_cache::insert(fp, kind, i,
+                         mc_cache::CachedSample{status, dist.delays[i], false, error});
       });
-  dist.summary = util::summarize(valid_samples(dist.delays, dist.degradation.quarantined));
+  dist.summary = util::summarize(valid_samples(dist.delays, dist.degradation.quarantined, mc));
   return dist;
 }
 

@@ -9,6 +9,38 @@
 
 namespace issa::core {
 
+namespace {
+
+// Same minimal escaping as util/metrics' report writer: reports must stay
+// parseable even when a title or label carries a quote or control byte.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Reports must always be joinable on run_id (satellite of the persistence
+// work: a quarantine record or cache segment with no run id is orphaned), so
+// a caller that never opened a RunInfo session still gets a generated id.
+util::RunInfo with_run_id(const util::RunInfo& run) {
+  if (!run.empty()) return run;
+  util::RunInfo stamped = run;
+  stamped.run_id = util::generate_run_id();
+  return stamped;
+}
+
+}  // namespace
+
 std::string ExperimentRow::condition_label() const {
   std::ostringstream os;
   os << scheme << "/" << workload_label << (stress_time_s > 0 ? "@1e8s" : "@0s");
@@ -24,10 +56,11 @@ void write_run_report_json(const std::string& path, std::string_view title,
 
 void write_run_report_json(const std::string& path, std::string_view title,
                            const std::vector<ExperimentRow>& rows, const util::RunInfo& run) {
+  const util::RunInfo stamped = with_run_id(run);
   std::ostringstream os;
-  os << "{\n  \"title\": \"" << title << "\",\n";
+  os << "{\n  \"title\": \"" << json_escape(title) << "\",\n";
+  os << "  \"run_id\": \"" << json_escape(stamped.run_id) << "\",\n";
   if (!run.empty()) {
-    os << "  \"run_id\": \"" << run.run_id << "\",\n";
     os << "  \"wall_clock_s\": " << run.wall_clock_s << ",\n";
     os << "  \"rss_peak_kb\": " << run.rss_peak_kb << ",\n";
   }
@@ -35,19 +68,22 @@ void write_run_report_json(const std::string& path, std::string_view title,
   // the report without digging through per-condition metrics.
   std::size_t total_quarantined = 0;
   std::size_t total_recovered = 0;
+  std::size_t total_skipped = 0;
   for (const auto& row : rows) {
     total_quarantined += row.quarantined;
     total_recovered += row.recovered;
+    total_skipped += row.skipped;
   }
   os << "  \"quarantined_samples\": " << total_quarantined << ",\n";
   os << "  \"recovered_samples\": " << total_recovered << ",\n";
+  os << "  \"skipped_samples\": " << total_skipped << ",\n";
   os << "  \"degraded_conditions\": [";
   bool first_deg = true;
   for (const auto& row : rows) {
     if (!row.degraded() && row.recovered == 0) continue;
     os << (first_deg ? "\n" : ",\n");
     first_deg = false;
-    os << "    {\"condition\": \"" << row.condition_label() << "\", \"quarantined\": "
+    os << "    {\"condition\": \"" << json_escape(row.condition_label()) << "\", \"quarantined\": "
        << row.quarantined << ", \"recovered\": " << row.recovered << "}";
   }
   os << (first_deg ? "],\n" : "\n  ],\n");
@@ -77,14 +113,15 @@ void write_run_report_csv(const std::string& path, const std::vector<ExperimentR
 
 void write_run_report_csv(const std::string& path, const std::vector<ExperimentRow>& rows,
                           const util::RunInfo& run) {
+  const util::RunInfo stamped = with_run_id(run);
   util::CsvWriter csv(path,
                       {"run_id", "condition", "metric", "kind", "count", "total_ns", "mean_ns"});
   if (!run.empty()) {
     // Run-level provenance rides in the same table: one pseudo-metric row per
     // quantity, keyed by the shared run id.
-    csv.add_row(std::vector<std::string>{run.run_id, "-", "run.wall_clock_s", "run",
+    csv.add_row(std::vector<std::string>{stamped.run_id, "-", "run.wall_clock_s", "run",
                                          std::to_string(run.wall_clock_s), "0", "0"});
-    csv.add_row(std::vector<std::string>{run.run_id, "-", "run.rss_peak_kb", "run",
+    csv.add_row(std::vector<std::string>{stamped.run_id, "-", "run.rss_peak_kb", "run",
                                          std::to_string(run.rss_peak_kb), "0", "0"});
   }
   for (const auto& row : rows) {
@@ -92,16 +129,20 @@ void write_run_report_csv(const std::string& path, const std::vector<ExperimentR
     // Degradation rows are written even when metrics are compiled out: a
     // degraded run must be visible in every report format.
     if (row.quarantined > 0 || row.recovered > 0) {
-      csv.add_row(std::vector<std::string>{run.run_id, label, "mc.quarantined", "degradation",
+      csv.add_row(std::vector<std::string>{stamped.run_id, label, "mc.quarantined", "degradation",
                                            std::to_string(row.quarantined), "0", "0"});
-      csv.add_row(std::vector<std::string>{run.run_id, label, "mc.recovered", "degradation",
+      csv.add_row(std::vector<std::string>{stamped.run_id, label, "mc.recovered", "degradation",
                                            std::to_string(row.recovered), "0", "0"});
+    }
+    if (row.skipped > 0) {
+      csv.add_row(std::vector<std::string>{stamped.run_id, label, "mc.skipped", "shard",
+                                           std::to_string(row.skipped), "0", "0"});
     }
     for (const auto& e : row.metrics.entries) {
       const char* kind = e.kind == util::metrics::Kind::kCounter   ? "counter"
                          : e.kind == util::metrics::Kind::kTimer   ? "timer"
                                                                    : "histogram";
-      csv.add_row(std::vector<std::string>{run.run_id, label, e.name, kind,
+      csv.add_row(std::vector<std::string>{stamped.run_id, label, e.name, kind,
                                            std::to_string(e.count), std::to_string(e.total_ns),
                                            std::to_string(e.mean_ns())});
     }
@@ -180,6 +221,7 @@ ExperimentRow ExperimentRunner::run_cell(sa::SenseAmpKind kind,
   row.quarantined =
       offsets.degradation.quarantined.size() + delays.degradation.quarantined.size();
   row.recovered = offsets.degradation.recovered + delays.degradation.recovered;
+  row.skipped = offsets.skipped + delays.skipped;
   return row;
 }
 

@@ -37,6 +37,9 @@ struct ExperimentRow {
   std::size_t quarantined = 0;
   /// Samples that failed once but were recovered by the retry.
   std::size_t recovered = 0;
+  /// Samples left to other shards (nonzero only for --shard runs, whose
+  /// statistics are partial by construction).
+  std::size_t skipped = 0;
   /// Solver/pool work spent on this cell (empty unless metrics are enabled).
   util::metrics::Snapshot metrics;
 
@@ -51,7 +54,9 @@ struct ExperimentRow {
 /// metrics snapshot.  No-ops (writes empty reports) when metrics were off.
 /// The RunInfo overloads additionally stamp the report with the run id shared
 /// by every sidecar of the run (.metrics/.conditions/.trace/.forensics), the
-/// wall-clock duration, and the process peak RSS.
+/// wall-clock duration, and the process peak RSS.  Every report carries a
+/// NON-EMPTY run_id: when the caller supplies none (or an empty RunInfo), a
+/// fresh one is generated so reports are always joinable.
 void write_run_report_json(const std::string& path, std::string_view title,
                            const std::vector<ExperimentRow>& rows);
 void write_run_report_json(const std::string& path, std::string_view title,

@@ -141,4 +141,45 @@ void apply_fault_options(const Options& options) {
   }
 }
 
+bool cache_requested(const Options& options) {
+  if (options.has_flag("cache")) return true;
+  const char* env = std::getenv("ISSA_CACHE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+std::string cache_directory(const Options& options, std::string_view default_dir) {
+  if (const auto v = options.get_string("cache"); v && !v->empty()) return *v;
+  if (const char* env = std::getenv("ISSA_CACHE");
+      env != nullptr && env[0] != '\0' && std::string_view(env) != "1" &&
+      std::string_view(env) != "true") {
+    return env;
+  }
+  return std::string(default_dir);
+}
+
+std::optional<ShardSpec> shard_from_options(const Options& options) {
+  const auto v = options.get_string("shard");
+  if (!v) return std::nullopt;
+  const std::size_t slash = v->find('/');
+  std::size_t index_consumed = 0;
+  std::size_t count_consumed = 0;
+  ShardSpec spec;
+  try {
+    if (slash == std::string::npos || slash == 0 || slash + 1 >= v->size()) {
+      throw std::invalid_argument("missing i/N");
+    }
+    spec.index = static_cast<std::size_t>(std::stoul(v->substr(0, slash), &index_consumed));
+    spec.count = static_cast<std::size_t>(std::stoul(v->substr(slash + 1), &count_consumed));
+    if (index_consumed != slash || count_consumed != v->size() - slash - 1) {
+      throw std::invalid_argument("trailing characters");
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad --shard value (want i/N, e.g. 0/4): " + *v);
+  }
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::invalid_argument("bad --shard value (need 0 <= i < N): " + *v);
+  }
+  return spec;
+}
+
 }  // namespace issa::util

@@ -3,6 +3,7 @@
 // fallbacks (ISSA_FAST=1 shrinks Monte-Carlo counts for smoke runs).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -66,5 +67,26 @@ std::string fault_spec(const Options& options);
 /// stderr warning).  Every bench/example main calls this right after parsing
 /// its options.  Throws std::invalid_argument on a malformed spec.
 void apply_fault_options(const Options& options);
+
+/// True when --cache (or --cache=dir) was passed, or the ISSA_CACHE
+/// environment variable is set to a non-empty, non-"0" value.  Callers open
+/// the Monte-Carlo sample cache (analysis/mc_cache) when this holds.
+bool cache_requested(const Options& options);
+
+/// Store directory for the sample cache: the value of --cache=dir when
+/// given; else ISSA_CACHE when it names a path (any value other than the
+/// bare on-switches "1"/"true"); else `default_dir`.  Benches default to one
+/// shared ".issa-cache" so a warm rerun of any bench hits the same store.
+std::string cache_directory(const Options& options, std::string_view default_dir);
+
+/// Parsed --shard=i/N selector (0-based index, count >= 1, index < count).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// The --shard=i/N option, or nullopt when absent.  Throws
+/// std::invalid_argument on a malformed selector ("2/2", "a/b", "1", ...).
+std::optional<ShardSpec> shard_from_options(const Options& options);
 
 }  // namespace issa::util

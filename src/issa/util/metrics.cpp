@@ -167,7 +167,8 @@ Registry::Registry() : impl_(new Impl) {
         names::kJacobianBuilds, names::kTransientSteps, names::kDcSolves,
         names::kTransientEarlyExits,
         names::kLuFactorizations, names::kLuSolves, names::kPoolTasksEnqueued,
-        names::kPoolTasksExecuted, names::kMcSamples, names::kMcSaturatedSamples}) {
+        names::kPoolTasksExecuted, names::kMcSamples, names::kMcSaturatedSamples,
+        names::kMcCacheHits, names::kMcCacheMisses, names::kMcCacheStores}) {
     counter(name);
   }
   for (const char* name : {names::kLuFactorTime, names::kLuSolveTime, names::kMcSampleTime}) {

@@ -249,6 +249,9 @@ inline constexpr const char* kMcSampleTime = "mc.sample_time";
 inline constexpr const char* kMcSampleFailures = "mc.sample_failures";
 inline constexpr const char* kMcSampleRetries = "mc.sample_retries";
 inline constexpr const char* kMcQuarantinedSamples = "mc.quarantined_samples";
+inline constexpr const char* kMcCacheHits = "mc.cache_hits";
+inline constexpr const char* kMcCacheMisses = "mc.cache_misses";
+inline constexpr const char* kMcCacheStores = "mc.cache_stores";
 }  // namespace names
 
 /// Process-wide metric registry.  Lookup is mutex-protected (call sites cache

@@ -1,0 +1,40 @@
+#include "issa/util/store/crc32.hpp"
+
+#if ISSA_STORE_ENABLED
+
+#include <array>
+
+namespace issa::util::store {
+
+namespace {
+
+// Reflected-polynomial table, generated once at static-init time.
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? kPolynomial ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace issa::util::store
+
+#endif  // ISSA_STORE_ENABLED

@@ -1,0 +1,430 @@
+// The content-addressed Monte-Carlo sample cache (analysis/mc_cache): warm
+// reruns must replay bit-identically from disk, fingerprints must separate
+// everything that changes a sample and ignore everything that does not,
+// quarantine verdicts must replay with their records, interrupted stores
+// must resume, and sharded sweeps must merge into the unsharded statistics.
+#include "issa/analysis/mc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "issa/analysis/montecarlo.hpp"
+#include "issa/util/faultpoint.hpp"
+
+namespace issa::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+::testing::AssertionResult bit_exact(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t bits_a = 0;
+    std::uint64_t bits_b = 0;
+    std::memcpy(&bits_a, &a[i], sizeof(bits_a));
+    std::memcpy(&bits_b, &b[i], sizeof(bits_b));
+    if (bits_a != bits_b) {
+      return ::testing::AssertionFailure()
+             << "sample " << i << " differs: " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+Condition fresh_condition() {
+  Condition c;
+  c.kind = sa::SenseAmpKind::kNssa;
+  c.config = sa::nominal_config();
+  c.workload = workload::workload_from_name("80r0");
+  c.stress_time_s = 0.0;
+  return c;
+}
+
+McConfig mc_with(std::size_t iterations) {
+  McConfig mc;
+  mc.iterations = iterations;
+  mc.seed = 42;
+  mc.parallel = false;
+  return mc;
+}
+
+TEST(EffectiveRunId, NonEmptyDeterministicFallback) {
+  const Condition condition = fresh_condition();
+  McConfig mc = mc_with(8);
+  // Unset run_id: a deterministic, non-empty id derived from the cell.
+  const std::string fallback = effective_run_id(condition, mc);
+  EXPECT_FALSE(fallback.empty());
+  EXPECT_EQ(fallback, effective_run_id(condition, mc));
+  EXPECT_EQ(fallback.rfind("auto-", 0), 0u) << fallback;
+  // Different seed or condition: different id.
+  McConfig other_seed = mc;
+  other_seed.seed = 43;
+  EXPECT_NE(effective_run_id(condition, other_seed), fallback);
+  Condition other = condition;
+  other.config.vdd *= 1.1;
+  EXPECT_NE(effective_run_id(other, mc), fallback);
+  // Explicit run_id wins untouched.
+  mc.run_id = "session-7";
+  EXPECT_EQ(effective_run_id(condition, mc), "session-7");
+}
+
+TEST(ShardConfig, SelectorPartitionsSamples) {
+  McConfig mc = mc_with(10);
+  mc.shard_count = 3;
+  mc.shard_index = 1;
+  EXPECT_TRUE(mc.in_shard(1));
+  EXPECT_TRUE(mc.in_shard(4));
+  EXPECT_FALSE(mc.in_shard(0));
+  EXPECT_FALSE(mc.in_shard(2));
+  EXPECT_EQ(mc.shard_iterations(10), 3u);  // samples 1, 4, 7
+  mc.shard_index = 0;
+  EXPECT_EQ(mc.shard_iterations(10), 4u);  // samples 0, 3, 6, 9
+  // Unsharded accepts everything.
+  EXPECT_EQ(mc_with(10).shard_iterations(10), 10u);
+  EXPECT_TRUE(mc_with(10).in_shard(7));
+}
+
+TEST(ShardConfig, ShardsUnionToTheUnshardedDistribution) {
+  const Condition condition = fresh_condition();
+  const OffsetDistribution full = measure_offset_distribution(condition, mc_with(10));
+
+  McConfig mc0 = mc_with(10);
+  mc0.shard_count = 2;
+  mc0.shard_index = 0;
+  McConfig mc1 = mc_with(10);
+  mc1.shard_count = 2;
+  mc1.shard_index = 1;
+  const OffsetDistribution shard0 = measure_offset_distribution(condition, mc0);
+  const OffsetDistribution shard1 = measure_offset_distribution(condition, mc1);
+
+  EXPECT_EQ(shard0.skipped, 5u);
+  EXPECT_EQ(shard1.skipped, 5u);
+  EXPECT_EQ(shard0.valid_count(), 5u);
+  EXPECT_EQ(shard0.summary.count, 5u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const OffsetDistribution& owner = i % 2 == 0 ? shard0 : shard1;
+    const OffsetDistribution& other = i % 2 == 0 ? shard1 : shard0;
+    EXPECT_EQ(owner.offsets[i], full.offsets[i]) << "sample " << i;
+    EXPECT_TRUE(std::isnan(other.offsets[i])) << "sample " << i;
+  }
+}
+
+#if ISSA_STORE_ENABLED
+
+class McCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/issa_mc_cache_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override {
+    mc_cache::close();
+    util::faultpoint::clear();
+  }
+
+  // Hit/miss/store deltas for one scoped measurement.
+  template <typename Fn>
+  mc_cache::CacheCounts delta(Fn&& fn) {
+    const mc_cache::CacheCounts before = mc_cache::counts();
+    fn();
+    const mc_cache::CacheCounts after = mc_cache::counts();
+    return {after.hits - before.hits, after.misses - before.misses,
+            after.stores - before.stores};
+  }
+
+  std::string dir_;
+};
+
+TEST_F(McCacheTest, RecordEncodingRoundTrips) {
+  mc_cache::CachedSample in;
+  in.status = 2;
+  in.value = -0.01724;
+  in.saturated = true;
+  in.error = "solver did not converge";
+  mc_cache::CachedSample out;
+  ASSERT_TRUE(mc_cache::decode(mc_cache::encode(in), out));
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.value, in.value);
+  EXPECT_EQ(out.saturated, in.saturated);
+  EXPECT_EQ(out.error, in.error);
+
+  // NaN values (quarantined slots) survive the byte round trip.
+  in.value = std::nan("");
+  ASSERT_TRUE(mc_cache::decode(mc_cache::encode(in), out));
+  EXPECT_TRUE(std::isnan(out.value));
+
+  // Truncated or length-inconsistent records are rejected, not misread.
+  EXPECT_FALSE(mc_cache::decode("", out));
+  EXPECT_FALSE(mc_cache::decode("short", out));
+  std::string bytes = mc_cache::encode(in);
+  bytes.pop_back();
+  EXPECT_FALSE(mc_cache::decode(bytes, out));
+}
+
+TEST_F(McCacheTest, WarmOffsetRerunReplaysBitIdentically) {
+  const Condition condition = fresh_condition();
+  const McConfig mc = mc_with(12);
+
+  mc_cache::open(dir_);
+  OffsetDistribution cold;
+  const auto cold_counts = delta([&] { cold = measure_offset_distribution(condition, mc); });
+  EXPECT_EQ(cold_counts.hits, 0u);
+  EXPECT_EQ(cold_counts.misses, 12u);
+  EXPECT_EQ(cold_counts.stores, 12u);
+  mc_cache::close();
+
+  mc_cache::open(dir_);
+  OffsetDistribution warm;
+  const auto warm_counts = delta([&] { warm = measure_offset_distribution(condition, mc); });
+  EXPECT_EQ(warm_counts.hits, 12u);
+  EXPECT_EQ(warm_counts.misses, 0u);
+  EXPECT_EQ(warm_counts.stores, 0u);
+
+  EXPECT_TRUE(bit_exact(cold.offsets, warm.offsets));
+  EXPECT_EQ(cold.summary.mean, warm.summary.mean);
+  EXPECT_EQ(cold.summary.stddev, warm.summary.stddev);
+  EXPECT_EQ(cold.saturated_count, warm.saturated_count);
+  EXPECT_EQ(cold.spec(), warm.spec());
+
+  // The cache must also agree with a cache-less run: replay changes where
+  // values come from, never what they are.
+  mc_cache::close();
+  const OffsetDistribution plain = measure_offset_distribution(condition, mc);
+  EXPECT_TRUE(bit_exact(plain.offsets, warm.offsets));
+}
+
+TEST_F(McCacheTest, WarmDelayRerunReplaysBothMetricsIndependently) {
+  const Condition condition = fresh_condition();
+  McConfig mc = mc_with(8);
+
+  mc_cache::open(dir_);
+  const DelayDistribution cold_worst = measure_delay_distribution(condition, mc);
+  mc.delay_metric = DelayMetric::kMeanOfDirections;
+  const DelayDistribution cold_mean = measure_delay_distribution(condition, mc);
+
+  // Same fingerprint, different kind: the two metrics never collide.
+  DelayDistribution warm_mean;
+  const auto mean_counts =
+      delta([&] { warm_mean = measure_delay_distribution(condition, mc); });
+  EXPECT_EQ(mean_counts.hits, 8u);
+  mc.delay_metric = DelayMetric::kWorstDirection;
+  DelayDistribution warm_worst;
+  const auto worst_counts =
+      delta([&] { warm_worst = measure_delay_distribution(condition, mc); });
+  EXPECT_EQ(worst_counts.hits, 8u);
+
+  EXPECT_TRUE(bit_exact(cold_worst.delays, warm_worst.delays));
+  EXPECT_TRUE(bit_exact(cold_mean.delays, warm_mean.delays));
+}
+
+TEST_F(McCacheTest, GrowingIterationCountReusesThePrefix) {
+  // Iteration count is excluded from the fingerprint: growing 8 -> 12
+  // replays the first 8 samples and simulates only the 4 new ones.
+  const Condition condition = fresh_condition();
+  mc_cache::open(dir_);
+  measure_offset_distribution(condition, mc_with(8));
+  OffsetDistribution grown;
+  const auto counts =
+      delta([&] { grown = measure_offset_distribution(condition, mc_with(12)); });
+  EXPECT_EQ(counts.hits, 8u);
+  EXPECT_EQ(counts.misses, 4u);
+  EXPECT_EQ(counts.stores, 4u);
+  EXPECT_EQ(grown.valid_count(), 12u);
+}
+
+TEST_F(McCacheTest, FingerprintSeparatesInputsAndIgnoresExecutionKnobs) {
+  const Condition condition = fresh_condition();
+  const McConfig mc = mc_with(8);
+  const std::string base = mc_cache::condition_fingerprint(condition, mc);
+  ASSERT_EQ(base.size(), 64u);
+
+  // Everything that changes what a sample computes must change the key.
+  McConfig seed = mc;
+  seed.seed = 43;
+  EXPECT_NE(mc_cache::condition_fingerprint(condition, seed), base);
+  McConfig retry = mc;
+  retry.retry_failed_samples = false;
+  EXPECT_NE(mc_cache::condition_fingerprint(condition, retry), base);
+  Condition vdd = condition;
+  vdd.config.vdd *= 1.1;
+  EXPECT_NE(mc_cache::condition_fingerprint(vdd, mc), base);
+  Condition kind = condition;
+  kind.kind = sa::SenseAmpKind::kIssa;
+  EXPECT_NE(mc_cache::condition_fingerprint(kind, mc), base);
+  Condition aged = condition;
+  aged.stress_time_s = 1e8;
+  EXPECT_NE(mc_cache::condition_fingerprint(aged, mc), base);
+  Condition wl = condition;
+  wl.workload = workload::workload_from_name("20r1");
+  wl.stress_time_s = 1e8;
+  Condition wl2 = wl;
+  wl2.workload = workload::workload_from_name("80r1");
+  EXPECT_NE(mc_cache::condition_fingerprint(wl, mc), mc_cache::condition_fingerprint(wl2, mc));
+  McConfig bti = mc;
+  bti.bti.trap_areal_density *= 2.0;
+  EXPECT_NE(mc_cache::condition_fingerprint(condition, bti), base);
+  McConfig mis = mc;
+  mis.mismatch.avt_nmos *= 1.5;
+  EXPECT_NE(mc_cache::condition_fingerprint(condition, mis), base);
+
+  // Execution knobs that cannot change sample values must NOT change it.
+  McConfig knobs = mc;
+  knobs.iterations = 4000;
+  knobs.parallel = true;
+  knobs.run_id = "whatever";
+  knobs.shard_index = 1;
+  knobs.shard_count = 4;
+  knobs.max_quarantine_fraction = 0.5;
+  EXPECT_EQ(mc_cache::condition_fingerprint(condition, knobs), base);
+}
+
+TEST_F(McCacheTest, ShardedRunsFillOneStoreThatReplaysUnsharded) {
+  const Condition condition = fresh_condition();
+  const OffsetDistribution reference = measure_offset_distribution(condition, mc_with(10));
+
+  // Two shard "processes" populate the same store directory in turn.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    McConfig mc = mc_with(10);
+    mc.shard_count = 2;
+    mc.shard_index = shard;
+    mc_cache::open(dir_);
+    const auto counts = delta([&] { measure_offset_distribution(condition, mc); });
+    EXPECT_EQ(counts.stores, 5u);
+    mc_cache::close();
+  }
+
+  // A warm unsharded rerun over the merged store replays every sample.
+  mc_cache::open(dir_);
+  OffsetDistribution merged;
+  const auto counts = delta([&] { merged = measure_offset_distribution(condition, mc_with(10)); });
+  EXPECT_EQ(counts.hits, 10u);
+  EXPECT_EQ(counts.misses, 0u);
+  EXPECT_TRUE(bit_exact(reference.offsets, merged.offsets));
+  EXPECT_EQ(reference.summary.mean, merged.summary.mean);
+  EXPECT_EQ(reference.summary.stddev, merged.summary.stddev);
+}
+
+TEST_F(McCacheTest, TruncatedStoreResumesWithPartialReplay) {
+  const Condition condition = fresh_condition();
+  mc_cache::open(dir_);
+  OffsetDistribution cold;
+  delta([&] { cold = measure_offset_distribution(condition, mc_with(10)); });
+  mc_cache::close();
+
+  // Kill-during-write simulation: chop the tail off the only segment.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(dir_)) segment = entry.path().string();
+  ASSERT_FALSE(segment.empty());
+  fs::resize_file(segment, fs::file_size(segment) - 13);
+
+  mc_cache::open(dir_);
+  OffsetDistribution resumed;
+  const auto counts =
+      delta([&] { resumed = measure_offset_distribution(condition, mc_with(10)); });
+  EXPECT_GT(counts.hits, 0u) << "recovered prefix must replay";
+  EXPECT_GT(counts.misses, 0u) << "dropped tail must re-simulate";
+  EXPECT_EQ(counts.hits + counts.misses, 10u);
+  EXPECT_EQ(counts.stores, counts.misses);
+  EXPECT_TRUE(bit_exact(cold.offsets, resumed.offsets));
+
+  // The re-simulated records healed the store: next rerun is all hits.
+  mc_cache::close();
+  mc_cache::open(dir_);
+  const auto healed = delta([&] { measure_offset_distribution(condition, mc_with(10)); });
+  EXPECT_EQ(healed.hits, 10u);
+}
+
+#if ISSA_FAULTPOINTS_ENABLED
+
+TEST_F(McCacheTest, QuarantineVerdictsReplayWithTheirRecords) {
+  namespace fp = util::faultpoint;
+  const Condition condition = fresh_condition();
+  McConfig mc = mc_with(12);
+  mc.max_quarantine_fraction = 0.5;
+
+  fp::configure("lu.singular_pivot=key3|7");
+  mc_cache::open(dir_);
+  const OffsetDistribution cold = measure_offset_distribution(condition, mc);
+  ASSERT_EQ(cold.degradation.quarantined.size(), 2u);
+  mc_cache::close();
+  fp::clear();
+
+  // Warm rerun with the same fault spec armed: the quarantine verdicts come
+  // from the store (the injected fault never fires again), and the
+  // degradation record reproduces exactly.
+  fp::configure("lu.singular_pivot=key3|7");
+  mc_cache::open(dir_);
+  OffsetDistribution warm;
+  const auto counts = delta([&] { warm = measure_offset_distribution(condition, mc); });
+  EXPECT_EQ(counts.hits, 12u);
+  EXPECT_EQ(counts.misses, 0u);
+  ASSERT_EQ(warm.degradation.quarantined.size(), 2u);
+  EXPECT_EQ(warm.degradation.quarantined[0].sample, 3u);
+  EXPECT_EQ(warm.degradation.quarantined[1].sample, 7u);
+  EXPECT_EQ(warm.degradation.quarantined[0].error, cold.degradation.quarantined[0].error);
+  EXPECT_EQ(warm.degradation.quarantined[0].run_id, cold.degradation.quarantined[0].run_id);
+  EXPECT_FALSE(warm.degradation.quarantined[0].run_id.empty());
+  EXPECT_TRUE(std::isnan(warm.offsets[3]));
+  EXPECT_TRUE(bit_exact(cold.offsets, warm.offsets));
+  EXPECT_EQ(cold.summary.count, warm.summary.count);
+}
+
+TEST_F(McCacheTest, FaultSpecOwnsItsKeyspace) {
+  namespace fp = util::faultpoint;
+  const Condition condition = fresh_condition();
+  McConfig mc = mc_with(6);
+  mc.max_quarantine_fraction = 1.0;
+
+  const std::string clean = mc_cache::condition_fingerprint(condition, mc);
+  fp::configure("lu.singular_pivot=key1");
+  const std::string faulted = mc_cache::condition_fingerprint(condition, mc);
+  EXPECT_NE(clean, faulted);
+
+  // A faulted run therefore never replays into a clean one: the clean rerun
+  // misses and re-simulates instead of inheriting quarantined garbage.
+  mc_cache::open(dir_);
+  measure_offset_distribution(condition, mc);
+  fp::clear();
+  OffsetDistribution clean_dist;
+  const auto counts =
+      delta([&] { clean_dist = measure_offset_distribution(condition, mc); });
+  EXPECT_EQ(counts.hits, 0u);
+  EXPECT_EQ(counts.misses, 6u);
+  EXPECT_TRUE(clean_dist.degradation.quarantined.empty());
+}
+
+#endif  // ISSA_FAULTPOINTS_ENABLED
+
+#else  // !ISSA_STORE_ENABLED
+
+TEST(McCacheOffTest, ApiIsInert) {
+  EXPECT_FALSE(mc_cache::enabled());
+  mc_cache::open(::testing::TempDir() + "/issa_mc_cache_off");
+  EXPECT_FALSE(mc_cache::enabled());
+  EXPECT_EQ(mc_cache::condition_fingerprint(fresh_condition(), mc_with(4)), "");
+  mc_cache::CachedSample out;
+  EXPECT_FALSE(mc_cache::lookup("fp", "offset", 0, out));
+  mc_cache::close();
+
+  // The distributions still work, they just never cache.
+  const OffsetDistribution dist = measure_offset_distribution(fresh_condition(), mc_with(4));
+  EXPECT_EQ(dist.valid_count(), 4u);
+  EXPECT_EQ(mc_cache::counts().hits, 0u);
+}
+
+#endif  // ISSA_STORE_ENABLED
+
+}  // namespace
+}  // namespace issa::analysis

@@ -254,6 +254,25 @@ TEST_F(McDegradationTest, RunIdFlowsIntoQuarantineRecords) {
   EXPECT_EQ(dist.degradation.quarantined[0].run_id, "test-run-17");
 }
 
+TEST_F(McDegradationTest, UnsetRunIdGetsDeterministicFallbackInRecords) {
+  // Regression: quarantine records used to inherit an EMPTY run id when the
+  // caller never set McConfig::run_id, leaving them unjoinable with any
+  // report.  The engine now stamps effective_run_id()'s deterministic
+  // fallback instead.
+  fp::configure("lu.singular_pivot=key2");
+  McConfig mc = mc_with(4, false);
+  mc.max_quarantine_fraction = 1.0;
+  ASSERT_TRUE(mc.run_id.empty());
+  const OffsetDistribution dist = measure_offset_distribution(fresh_condition(), mc);
+  ASSERT_EQ(dist.degradation.quarantined.size(), 1u);
+  const std::string& run_id = dist.degradation.quarantined[0].run_id;
+  EXPECT_FALSE(run_id.empty());
+  EXPECT_EQ(run_id, effective_run_id(fresh_condition(), mc));
+  // Deterministic: the same cell quarantines under the same id every run.
+  const OffsetDistribution again = measure_offset_distribution(fresh_condition(), mc);
+  EXPECT_EQ(again.degradation.quarantined[0].run_id, run_id);
+}
+
 TEST_F(McDegradationTest, PoolTaskThrowStillFailsTheRun) {
   // pool.task_throw fires OUTSIDE the per-sample body, in the chunk lambda:
   // it exercises parallel_for's first-error rethrow contract and is
